@@ -1,0 +1,28 @@
+"""Figure 18: time breakdown of insert propagation (views Q1/Q3/Q6).
+
+Paper shape: Find-Target-Nodes dominates the Δ-table / expression /
+execute phases; Update-Lattice tracks view complexity, not the update.
+"""
+
+from repro.bench.experiments import run_breakdown_matrix
+from repro.bench.harness import format_rows, fresh_engine
+from repro.workloads.updates import insert_update
+
+from conftest import SCALE_MEDIUM
+
+
+def test_fig18_insert_breakdown(benchmark, save_table):
+    rows = run_breakdown_matrix(SCALE_MEDIUM, "insert", views=("Q1", "Q3", "Q6"))
+    save_table(
+        "fig18_insert_breakdown.txt",
+        format_rows(rows, "Figure 18: insert propagation breakdown (ms)"),
+    )
+
+    def setup():
+        return (fresh_engine(SCALE_MEDIUM, ("Q1",)),), {}
+
+    benchmark.pedantic(
+        lambda engine: engine.apply_update(insert_update("X1_L")),
+        setup=setup,
+        rounds=3,
+    )

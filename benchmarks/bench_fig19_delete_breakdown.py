@@ -1,0 +1,29 @@
+"""Figure 19: time breakdown of delete propagation (views Q1/Q3/Q6).
+
+Paper shape: Get-Update-Expression is cheaper than for insertions
+(pruning the deletion expression is faster); Update-Lattice is costlier
+than for insertions (the lattice must be searched for doomed rows).
+"""
+
+from repro.bench.experiments import run_breakdown_matrix
+from repro.bench.harness import format_rows, fresh_engine
+from repro.workloads.updates import delete_variant
+
+from conftest import SCALE_MEDIUM
+
+
+def test_fig19_delete_breakdown(benchmark, save_table):
+    rows = run_breakdown_matrix(SCALE_MEDIUM, "delete", views=("Q1", "Q3", "Q6"))
+    save_table(
+        "fig19_delete_breakdown.txt",
+        format_rows(rows, "Figure 19: delete propagation breakdown (ms)"),
+    )
+
+    def setup():
+        return (fresh_engine(SCALE_MEDIUM, ("Q1",)),), {}
+
+    benchmark.pedantic(
+        lambda engine: engine.apply_update(delete_variant("A6_A")),
+        setup=setup,
+        rounds=3,
+    )

@@ -1,0 +1,26 @@
+"""Figure 20: total PINT time for all XMark views x their update groups."""
+
+from repro.bench.experiments import run_breakdown_matrix
+from repro.bench.harness import format_rows, fresh_engine
+from repro.workloads.updates import insert_update
+
+from conftest import SCALE_MEDIUM
+
+ALL_VIEWS = ("Q1", "Q2", "Q3", "Q4", "Q6", "Q13", "Q17")
+
+
+def test_fig20_all_views_insert(benchmark, save_table):
+    rows = run_breakdown_matrix(SCALE_MEDIUM, "insert", views=ALL_VIEWS)
+    save_table(
+        "fig20_all_views_insert.txt",
+        format_rows(rows, "Figure 20: PINT total time, all views (ms)"),
+    )
+
+    def setup():
+        return (fresh_engine(SCALE_MEDIUM, ALL_VIEWS),), {}
+
+    benchmark.pedantic(
+        lambda engine: engine.apply_update(insert_update("X2_L")),
+        setup=setup,
+        rounds=2,
+    )

@@ -1,0 +1,26 @@
+"""Figure 21: total PDDT time for all XMark views x their update groups."""
+
+from repro.bench.experiments import run_breakdown_matrix
+from repro.bench.harness import format_rows, fresh_engine
+from repro.workloads.updates import delete_variant
+
+from conftest import SCALE_MEDIUM
+
+ALL_VIEWS = ("Q1", "Q2", "Q3", "Q4", "Q6", "Q13", "Q17")
+
+
+def test_fig21_all_views_delete(benchmark, save_table):
+    rows = run_breakdown_matrix(SCALE_MEDIUM, "delete", views=ALL_VIEWS)
+    save_table(
+        "fig21_all_views_delete.txt",
+        format_rows(rows, "Figure 21: PDDT total time, all views (ms)"),
+    )
+
+    def setup():
+        return (fresh_engine(SCALE_MEDIUM, ALL_VIEWS),), {}
+
+    benchmark.pedantic(
+        lambda engine: engine.apply_update(delete_variant("B3_LB")),
+        setup=setup,
+        rounds=2,
+    )

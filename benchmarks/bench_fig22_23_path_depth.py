@@ -1,0 +1,38 @@
+"""Figures 22/23: deletion path depth sweep against view Q1.
+
+Paper shape: maintenance time decreases as the update path lengthens
+(shorter paths doom more nodes).  Figure 22 uses a ~100 KB document,
+Figure 23 a ~10 MB one; we keep the small/large pairing.
+"""
+
+from repro.bench.experiments import run_path_depth
+from repro.bench.harness import run_maintenance_pair
+from repro.updates.language import DeleteUpdate
+
+from conftest import SCALE_MEDIUM, rows_to_table
+
+
+def test_fig22_23_path_depth(benchmark, save_table):
+    small = run_path_depth(1)
+    large = run_path_depth(4)
+    columns = ("path", "depth", "total_s", "derivations_removed")
+    save_table(
+        "fig22_23_path_depth.txt",
+        rows_to_table(small, columns, "Figure 22 (small doc): X1_L depth sweep vs Q1")
+        + "\n\n"
+        + rows_to_table(large, columns, "Figure 23 (large doc): X1_L depth sweep vs Q1"),
+    )
+    # The headline shape: the shallowest path is at least as expensive
+    # as the deepest (it dooms strictly more nodes).
+    assert small[0]["derivations_removed"] >= small[-1]["derivations_removed"]
+
+    benchmark.pedantic(
+        lambda: run_maintenance_pair(
+            SCALE_MEDIUM,
+            "Q1",
+            "X1_L_depth",
+            "delete",
+            statement=DeleteUpdate("/site/people/person", name="X1_L_depth"),
+        ),
+        rounds=2,
+    )

@@ -1,0 +1,26 @@
+"""Figure 24: annotation placement (Q1 variants, fixed delete X1_L).
+
+Paper shape: the closer val/cont sit to the view root, the costlier
+PDDT/PDMT (bigger stored values to search and rewrite); IDs-only and
+VC-Leaf are the cheapest variants.
+"""
+
+from repro.bench.experiments import run_annotation_variants
+
+from conftest import SCALE_MEDIUM, rows_to_table
+
+
+def test_fig24_annotations(benchmark, save_table):
+    rows = run_annotation_variants(SCALE_MEDIUM)
+    save_table(
+        "fig24_annotations.txt",
+        rows_to_table(
+            rows,
+            ("variant", "total_s", "execute_update", "tuples_modified"),
+            "Figure 24: X1_L delete vs Q1 annotation variants",
+        ),
+    )
+    by_variant = {row["variant"]: row["total_s"] for row in rows}
+    assert by_variant["VC Root"] >= by_variant["VC Leaf"]
+
+    benchmark.pedantic(lambda: run_annotation_variants(1, verify=False), rounds=2)

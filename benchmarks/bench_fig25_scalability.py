@@ -1,0 +1,39 @@
+"""Figure 25: scalability with document size (view Q1, update A6_A).
+
+Paper shape: all phases grow gracefully; Execute-Update follows the
+Find-Target-Nodes trend; the paper's 500 KB -> 50 MB ratios (1:2:20:100)
+are kept as generator scales.
+"""
+
+from repro.bench.experiments import run_scalability
+from repro.bench.harness import run_maintenance_pair
+
+from conftest import rows_to_table
+
+SCALES = (1, 2, 20, 100)
+
+
+def test_fig25_scalability(benchmark, save_table):
+    rows = run_scalability(scales=SCALES)
+    columns = (
+        "kind",
+        "scale",
+        "doc_bytes",
+        "find_target_nodes",
+        "compute_delta_tables",
+        "get_update_expression",
+        "execute_update",
+        "update_lattice",
+        "total_s",
+    )
+    save_table(
+        "fig25_scalability.txt",
+        rows_to_table(rows, columns, "Figure 25: Q1 x A6_A across document sizes"),
+    )
+    inserts = [row for row in rows if row["kind"] == "insert"]
+    assert inserts[-1]["doc_bytes"] > 50 * inserts[0]["doc_bytes"]
+
+    benchmark.pedantic(
+        lambda: run_maintenance_pair(2, "Q1", "A6_A", "insert", verify=False),
+        rounds=2,
+    )

@@ -1,0 +1,28 @@
+"""Figure 26: PINT/PIMT vs full recomputation (views Q1/Q2/Q4).
+
+Paper shape: incremental maintenance beats recomputation broadly.
+"""
+
+from repro.bench.experiments import run_vs_full
+from repro.bench.harness import run_maintenance_pair
+
+from conftest import SCALE_MEDIUM, rows_to_table
+
+
+def test_fig26_vs_full_insert(benchmark, save_table):
+    rows = run_vs_full(SCALE_MEDIUM, "insert")
+    save_table(
+        "fig26_vs_full_insert.txt",
+        rows_to_table(
+            rows,
+            ("view", "update", "incremental_s", "full_s", "speedup"),
+            "Figure 26: incremental insert propagation vs full recomputation",
+        ),
+    )
+    wins = sum(1 for row in rows if row["incremental_s"] < row["full_s"])
+    assert wins >= len(rows) * 2 // 3
+
+    benchmark.pedantic(
+        lambda: run_maintenance_pair(SCALE_MEDIUM, "Q2", "X2_L", "insert", verify=False),
+        rounds=2,
+    )

@@ -1,0 +1,38 @@
+"""Figure 27: PDDT/PDMT vs full recomputation (views Q1/Q2/Q4).
+
+Paper shape: incremental wins, with an even larger margin than for
+insertions.
+"""
+
+from repro.bench.experiments import run_vs_full
+from repro.bench.harness import run_maintenance_pair
+
+from conftest import SCALE_MEDIUM, rows_to_table
+
+
+def test_fig27_vs_full_delete(benchmark, save_table):
+    selective = run_vs_full(SCALE_MEDIUM, "delete", selectivity=0.1)
+    bulk = run_vs_full(SCALE_MEDIUM, "delete")
+    columns = ("view", "update", "incremental_s", "full_s", "speedup")
+    save_table(
+        "fig27_vs_full_delete.txt",
+        rows_to_table(
+            selective,
+            columns,
+            "Figure 27: incremental delete vs full recomputation "
+            "(selective deletions, 10% of targets)",
+        )
+        + "\n\n"
+        + rows_to_table(
+            bulk,
+            columns,
+            "Worst case: bulk deletions wiping entire target populations",
+        ),
+    )
+    wins = sum(1 for row in selective if row["incremental_s"] < row["full_s"])
+    assert wins >= len(selective) * 2 // 3
+
+    benchmark.pedantic(
+        lambda: run_maintenance_pair(SCALE_MEDIUM, "Q2", "X2_L", "delete", verify=False),
+        rounds=2,
+    )

@@ -1,0 +1,43 @@
+"""Figure 28: bulk PINT/PIMT vs node-at-a-time IVMA (view Q1, 100 KB).
+
+Paper shape: the bulk algebraic approach outperforms IVMA by at least
+one order of magnitude (each 5-node statement costs five IVMA calls).
+"""
+
+from repro.bench.experiments import run_vs_ivma
+from repro.baselines.ivma import IVMAMaintainer
+from repro.updates.pul import apply_pul, compute_pul
+from repro.views.view import MaterializedView
+from repro.workloads.queries import view_pattern
+from repro.workloads.updates import insert_update
+from repro.workloads.xmark import generate_document
+
+from conftest import rows_to_table
+
+
+def test_fig28_vs_ivma(benchmark, save_table):
+    rows = run_vs_ivma(1, "Q1")
+    save_table(
+        "fig28_vs_ivma.txt",
+        rows_to_table(
+            rows,
+            ("update", "bulk_exec_s", "ivma_exec_s", "ivma_calls", "slowdown"),
+            "Figure 28: bulk propagation vs IVMA (view Q1)",
+        ),
+    )
+    # The paper reports >= one order of magnitude on X1_L-style updates.
+    assert max(row["slowdown"] for row in rows) >= 10
+
+    def setup():
+        document = generate_document(scale=1)
+        view = MaterializedView.materialize(view_pattern("Q1"), document)
+        pul = compute_pul(document, insert_update("X1_L"))
+        applied = apply_pul(document, pul)
+        maintainer = IVMAMaintainer(view, document)
+        return (maintainer, applied.inserted_roots), {}
+
+    benchmark.pedantic(
+        lambda maintainer, roots: maintainer.propagate_insert_nodes(roots),
+        setup=setup,
+        rounds=2,
+    )

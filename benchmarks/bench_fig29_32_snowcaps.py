@@ -1,0 +1,48 @@
+"""Figures 29-32: Snowcaps vs Leaves materialization (views Q4, Q6).
+
+Paper shape: materialized snowcaps reduce the (R) evaluate-terms time
+at the price of an (U) lattice-upkeep time; the benefit shrinks as
+snowcap/tuple counts grow.  With the cost-based (update-profile-driven)
+snowcap selection of Section 3.5, Q4 -- whose R-parts are large joins --
+shows the gain clearly; Q6's R-parts are two tiny prefix nodes in our
+transcription, so the strategies tie there (see EXPERIMENTS.md).
+"""
+
+from repro.bench.experiments import run_snowcaps_vs_leaves
+from repro.bench.harness import run_maintenance_pair
+
+from conftest import rows_to_table
+
+SCALES = (1, 2, 4, 8)
+
+
+def test_fig29_32_snowcaps_vs_leaves(benchmark, save_table):
+    q4 = run_snowcaps_vs_leaves("Q4", scales=SCALES)
+    q6 = run_snowcaps_vs_leaves("Q6", scales=SCALES)
+    columns = (
+        "view",
+        "scale",
+        "doc_bytes",
+        "strategy",
+        "evaluate_terms_s",
+        "update_lattice_s",
+        "total_s",
+    )
+    save_table(
+        "fig29_32_snowcaps_vs_leaves.txt",
+        rows_to_table(q4, columns, "Figures 29/31: Q4 snowcaps vs leaves")
+        + "\n\n"
+        + rows_to_table(q6, columns, "Figures 30/32: Q6 snowcaps vs leaves"),
+    )
+    # Q4's (R) benefit at the largest scale.
+    largest = [row for row in q4 if row["scale"] == SCALES[-1]]
+    by_strategy = {row["strategy"]: row["evaluate_terms_s"] for row in largest}
+    assert by_strategy["snowcaps"] <= by_strategy["leaves"]
+
+    benchmark.pedantic(
+        lambda: run_maintenance_pair(
+            2, "Q4", "X2_L", "insert", strategy="snowcaps",
+            verify=False, use_update_profile=True,
+        ),
+        rounds=2,
+    )

@@ -1,0 +1,31 @@
+"""Figure 33: reduction rule O1 (duplicate deletions) benefit.
+
+Paper shape: optimised <= unoptimised, improving as the overlap
+percentage grows (atomic-operation mode, Section 6.8).
+"""
+
+from repro.bench.experiments import run_reduction_rule
+
+from conftest import rows_to_table
+
+PERCENTS = (20, 40, 60, 80, 100)
+
+
+def test_fig33_rule_o1(benchmark, save_table):
+    rows = run_reduction_rule("O1", scale=1, percents=PERCENTS, repeats=2)
+    save_table(
+        "fig33_rule_o1.txt",
+        rows_to_table(
+            rows,
+            ("percent", "optimized_s", "unoptimized_s", "ops_optimized",
+             "ops_unoptimized", "saving"),
+            "Figure 33: rule O1, optimised vs unoptimised",
+        ),
+    )
+    assert all(row["ops_optimized"] <= row["ops_unoptimized"] for row in rows)
+
+    benchmark.pedantic(
+        lambda: run_reduction_rule("O1", scale=1, percents=(100,), repeats=1,
+                                   verify=False),
+        rounds=2,
+    )

@@ -1,0 +1,31 @@
+"""Figure 34: reduction rule O3 (ancestor-shadowed operations) benefit."""
+
+from repro.bench.experiments import run_reduction_rule
+
+from conftest import rows_to_table
+
+PERCENTS = (20, 40, 60, 80, 100)
+
+
+def test_fig34_rule_o3(benchmark, save_table):
+    rows = run_reduction_rule("O3", scale=1, percents=PERCENTS, repeats=2)
+    save_table(
+        "fig34_rule_o3.txt",
+        rows_to_table(
+            rows,
+            ("percent", "optimized_s", "unoptimized_s", "ops_optimized",
+             "ops_unoptimized", "saving"),
+            "Figure 34: rule O3, optimised vs unoptimised",
+        ),
+    )
+    assert all(row["ops_optimized"] <= row["ops_unoptimized"] for row in rows)
+    # The gap widens with overlap: the 100% saving beats the 20% one.
+    assert rows[-1]["ops_unoptimized"] - rows[-1]["ops_optimized"] >= (
+        rows[0]["ops_unoptimized"] - rows[0]["ops_optimized"]
+    )
+
+    benchmark.pedantic(
+        lambda: run_reduction_rule("O3", scale=1, percents=(100,), repeats=1,
+                                   verify=False),
+        rounds=2,
+    )

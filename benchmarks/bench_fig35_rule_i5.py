@@ -1,0 +1,27 @@
+"""Figure 35: reduction rule I5 (merged same-target insertions) benefit."""
+
+from repro.bench.experiments import run_reduction_rule
+
+from conftest import rows_to_table
+
+PERCENTS = (20, 40, 60, 80, 100)
+
+
+def test_fig35_rule_i5(benchmark, save_table):
+    rows = run_reduction_rule("I5", scale=1, percents=PERCENTS, repeats=2)
+    save_table(
+        "fig35_rule_i5.txt",
+        rows_to_table(
+            rows,
+            ("percent", "optimized_s", "unoptimized_s", "ops_optimized",
+             "ops_unoptimized", "saving"),
+            "Figure 35: rule I5, optimised vs unoptimised",
+        ),
+    )
+    assert all(row["ops_optimized"] <= row["ops_unoptimized"] for row in rows)
+
+    benchmark.pedantic(
+        lambda: run_reduction_rule("I5", scale=1, percents=(100,), repeats=1,
+                                   verify=False),
+        rounds=2,
+    )

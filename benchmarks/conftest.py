@@ -1,0 +1,43 @@
+"""Shared infrastructure for the per-figure benchmark modules.
+
+Every module regenerates one figure of Section 6: it runs the
+corresponding driver from :mod:`repro.bench.experiments` (each run is
+correctness-verified against recomputation), prints the paper-style
+series, saves it under ``benchmarks/out/`` and benchmarks a
+representative propagation with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Mapping, Sequence
+
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+#: generator scales standing in for the paper's document sizes
+#: (see DESIGN.md's substitution table): ~30 KB per unit scale.
+SCALE_SMALL = 1
+SCALE_MEDIUM = 2
+
+
+def rows_to_table(rows: Sequence[Mapping], columns: Sequence[str], title: str) -> str:
+    lines = [title, "  ".join("%-18s" % c for c in columns)]
+    for row in rows:
+        lines.append("  ".join("%-18s" % (row.get(c, ""),) for c in columns))
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    os.makedirs(OUT_DIR, exist_ok=True)
+
+    def _save(name: str, text: str) -> str:
+        path = os.path.join(OUT_DIR, name)
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print("\n" + text)
+        return path
+
+    return _save

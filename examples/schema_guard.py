@@ -1,0 +1,82 @@
+"""Schema guard: reject schema-violating updates from Δ+ tables.
+
+Run with::
+
+    python examples/schema_guard.py
+
+Re-enacts Section 3.3: the DTDs of Figure 5 induce constraints over the
+Δ+ tables ("inserting a b requires a c"), checked *before* the document
+is touched; a full content-model revalidation catches the sibling
+constraints of Example 3.10.
+"""
+
+from repro.schema.constraints import (
+    check_delta_implications,
+    check_insert_against_dtd,
+    derive_delta_implications,
+)
+from repro.schema.dtd import DTD, choice, empty_model, name, plus, seq
+from repro.updates.language import InsertUpdate
+from repro.updates.pul import compute_pul
+from repro.xmldom.parser import parse_document, parse_fragment
+
+# Figure 5(a): d1 -> AS, AS -> a+, a -> BS, BS -> b+, b -> c, c -> EMPTY
+D1 = DTD(
+    {
+        "d1": name("AS"),
+        "AS": plus(name("a")),
+        "a": name("BS"),
+        "BS": plus(name("b")),
+        "b": name("c"),
+        "c": empty_model(),
+    },
+    root="d1",
+)
+
+# Figure 5(b): d2 -> (a, b, c)+ with optional/recursive content under a.
+D2 = DTD(
+    {
+        "d2": plus(seq(name("a"), name("b"), name("c"))),
+        "a": name("BS"),
+        "BS": choice(name("x"), empty_model()),
+        "x": choice(name("x"), empty_model()),
+        "b": empty_model(),
+        "c": empty_model(),
+    },
+    root="d2",
+)
+
+
+def main():
+    print("Δ-implications derived from DTD d1:")
+    for implication in derive_delta_implications(D1):
+        print("  ", implication)
+
+    # Example 3.9: u5 inserts <a><b/></a> -- a b without its required c.
+    bad_forest = parse_fragment("<a><BS><b/></BS></a>")
+    problems = check_delta_implications(D1, bad_forest)
+    print("\nExample 3.9, inserting <a><BS><b/></BS></a> under d1:")
+    for problem in problems:
+        print("   REJECTED:", problem)
+    assert problems
+
+    good_forest = parse_fragment("<a><BS><b><c/></b></BS></a>")
+    assert check_delta_implications(D1, good_forest) == []
+    print("   (the c-carrying variant passes)")
+
+    # Example 3.10: inserting a lone <a/> under d2 breaks (a, b, c)+.
+    document = parse_document("<d2><a><BS/></a><b/><c/></d2>")
+    lone = compute_pul(document, InsertUpdate("/d2", "<a><BS/></a>"))
+    problems = check_insert_against_dtd(D2, lone)
+    print("\nExample 3.10, inserting a lone <a> under d2:")
+    for problem in problems:
+        print("   REJECTED:", problem)
+    assert problems
+
+    triple = compute_pul(document, InsertUpdate("/d2", "<a><BS/></a><b/><c/>"))
+    assert check_insert_against_dtd(D2, triple) == []
+    print("   (inserting the full (a, b, c) group passes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Classic setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package,
+so PEP-517 editable installs (``pip install -e .``) cannot build.  This
+shim lets ``python setup.py develop`` install the package the legacy
+way; metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

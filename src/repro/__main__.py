@@ -1,0 +1,120 @@
+"""Command-line demo driver: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``        -- quick end-to-end run on a generated document
+* ``generate``    -- emit an XMark-like document to stdout
+* ``experiment``  -- run one figure's experiment driver and print it
+
+Examples::
+
+    python -m repro demo
+    python -m repro generate --scale 2 > auction.xml
+    python -m repro experiment fig28
+    python -m repro experiment fig24
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.maintenance.engine import MaintenanceEngine
+    from repro.views.render import render_view
+    from repro.workloads.queries import VIEW_TEXTS
+    from repro.workloads.updates import delete_variant, insert_update
+    from repro.workloads.xmark import generate_document, size_of
+
+    document = generate_document(scale=args.scale)
+    print("document: %d bytes" % size_of(document), file=sys.stderr)
+    engine = MaintenanceEngine(document)
+    registered = engine.register_view(VIEW_TEXTS["Q1"], name="Q1")
+    print("view Q1: %d tuples" % len(registered.view), file=sys.stderr)
+    for statement in (insert_update("X1_L"), delete_variant("A6_A")):
+        report = engine.apply_update(statement)
+        print(
+            "%s: %.2f ms (%s)"
+            % (
+                statement.name,
+                report.total_maintenance_seconds() * 1000,
+                report.report_for("Q1"),
+            ),
+            file=sys.stderr,
+        )
+    assert registered.view.equals_fresh_evaluation(document)
+    print(render_view(registered.definition, registered.view))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.workloads.xmark import generate_xml
+
+    sys.stdout.write(generate_xml(scale=args.scale, seed=args.seed))
+    return 0
+
+
+_EXPERIMENTS = {
+    "fig18": lambda m: m.run_breakdown_matrix(2, "insert", views=("Q1", "Q3", "Q6")),
+    "fig19": lambda m: m.run_breakdown_matrix(2, "delete", views=("Q1", "Q3", "Q6")),
+    "fig20": lambda m: m.run_breakdown_matrix(2, "insert"),
+    "fig21": lambda m: m.run_breakdown_matrix(2, "delete"),
+    "fig22": lambda m: m.run_path_depth(1),
+    "fig23": lambda m: m.run_path_depth(4),
+    "fig24": lambda m: m.run_annotation_variants(2),
+    "fig25": lambda m: m.run_scalability(scales=(1, 2, 20)),
+    "fig26": lambda m: m.run_vs_full(2, "insert"),
+    "fig27": lambda m: m.run_vs_full(2, "delete", selectivity=0.1),
+    "fig28": lambda m: m.run_vs_ivma(1),
+    "fig29": lambda m: m.run_snowcaps_vs_leaves("Q4"),
+    "fig30": lambda m: m.run_snowcaps_vs_leaves("Q6"),
+    "fig33": lambda m: m.run_reduction_rule("O1", percents=(20, 60, 100)),
+    "fig34": lambda m: m.run_reduction_rule("O3", percents=(20, 60, 100)),
+    "fig35": lambda m: m.run_reduction_rule("I5", percents=(20, 60, 100)),
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import repro.bench.experiments as experiments
+    from repro.bench.harness import BreakdownRow, format_rows
+
+    driver = _EXPERIMENTS.get(args.figure)
+    if driver is None:
+        print("unknown figure %r; choose from %s"
+              % (args.figure, ", ".join(sorted(_EXPERIMENTS))), file=sys.stderr)
+        return 2
+    rows = driver(experiments)
+    if rows and isinstance(rows[0], BreakdownRow):
+        print(format_rows(rows, args.figure))
+        return 0
+    columns = list(rows[0].keys()) if rows else []
+    print("  ".join("%-16s" % c for c in columns))
+    for row in rows:
+        print("  ".join("%-16s" % (row.get(c, ""),) for c in columns))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser("demo", help="end-to-end maintenance demo")
+    demo.add_argument("--scale", type=int, default=1)
+    demo.set_defaults(func=_cmd_demo)
+
+    generate = commands.add_parser("generate", help="emit an XMark-like document")
+    generate.add_argument("--scale", type=int, default=1)
+    generate.add_argument("--seed", type=int, default=20110322)
+    generate.set_defaults(func=_cmd_generate)
+
+    experiment = commands.add_parser("experiment", help="run one figure driver")
+    experiment.add_argument("figure", help="e.g. fig18 ... fig35")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

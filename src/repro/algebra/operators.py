@@ -1,0 +1,161 @@
+"""Logical operators: σ, π, ×, δ, sort (Section 2.2).
+
+Predicates are small AST objects compiled against a relation schema, so
+a predicate can be written once and applied to differently-shaped
+intermediate results.  The three comparison operators of the paper's
+algebra are supported: ``=`` (value equality against a constant or
+between columns), ``≺`` (parent) and ``≺≺`` (ancestor), the latter two
+on Dewey IDs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+from repro.algebra.relation import Relation
+from repro.xmldom.dewey import DeweyID
+from repro.xmldom.model import Node
+
+RowTest = Callable[[tuple], bool]
+
+
+def _cell_id(value: object) -> DeweyID:
+    if isinstance(value, Node):
+        return value.id
+    if isinstance(value, DeweyID):
+        return value
+    raise TypeError("structural comparison needs a node or ID, got %r" % (value,))
+
+
+def _cell_val(value: object) -> str:
+    if isinstance(value, Node):
+        return value.val
+    return str(value)
+
+
+class Predicate:
+    """Base class of the predicate AST."""
+
+    def compile(self, schema: Sequence[str]) -> RowTest:
+        raise NotImplementedError
+
+
+class ValueEquals(Predicate):
+    """``σ_{col = c}``: the string value of a column equals a constant."""
+
+    def __init__(self, column: str, constant: str):
+        self.column = column
+        self.constant = constant
+
+    def compile(self, schema: Sequence[str]) -> RowTest:
+        index = list(schema).index(self.column)
+        constant = self.constant
+        return lambda row: _cell_val(row[index]) == constant
+
+    def __repr__(self) -> str:
+        return "ValueEquals(%r, %r)" % (self.column, self.constant)
+
+
+class ColumnComparison(Predicate):
+    """``σ_{a θ b}`` with θ ∈ {=, ≺, ≺≺} between two columns."""
+
+    OPS = ("=", "parent", "ancestor")
+
+    def __init__(self, left: str, op: str, right: str):
+        if op not in self.OPS:
+            raise ValueError("unknown operator %r (want one of %r)" % (op, self.OPS))
+        self.left = left
+        self.op = op
+        self.right = right
+
+    def compile(self, schema: Sequence[str]) -> RowTest:
+        columns = list(schema)
+        li = columns.index(self.left)
+        ri = columns.index(self.right)
+        if self.op == "=":
+            return lambda row: _cell_val(row[li]) == _cell_val(row[ri])
+        if self.op == "parent":
+            return lambda row: _cell_id(row[li]).is_parent_of(_cell_id(row[ri]))
+        return lambda row: _cell_id(row[li]).is_ancestor_of(_cell_id(row[ri]))
+
+    def __repr__(self) -> str:
+        return "ColumnComparison(%r, %r, %r)" % (self.left, self.op, self.right)
+
+
+class And(Predicate):
+    """Conjunction of predicates (the only connective in the algebra)."""
+
+    def __init__(self, parts: Iterable[Predicate]):
+        self.parts = tuple(parts)
+
+    def compile(self, schema: Sequence[str]) -> RowTest:
+        tests = [part.compile(schema) for part in self.parts]
+        return lambda row: all(test(row) for test in tests)
+
+    def __repr__(self) -> str:
+        return "And(%r)" % (self.parts,)
+
+
+def select(relation: Relation, predicate: Predicate) -> Relation:
+    """σ: keep the rows satisfying ``predicate``."""
+    test = predicate.compile(relation.schema)
+    return Relation(relation.schema, (row for row in relation.rows if test(row)))
+
+
+def project(relation: Relation, columns: Sequence[str]) -> Relation:
+    """π: keep (and reorder to) ``columns``; duplicates are preserved."""
+    indices = [relation.column_index(name) for name in columns]
+    return Relation(columns, (tuple(row[i] for i in indices) for row in relation.rows))
+
+
+def cartesian_product(*relations: Relation) -> Relation:
+    """×: n-ary cartesian product; schemas must be disjoint."""
+    if not relations:
+        raise ValueError("cartesian_product needs at least one operand")
+    schema: List[str] = []
+    for relation in relations:
+        for name in relation.schema:
+            if name in schema:
+                raise ValueError("duplicate column %r in product" % name)
+            schema.append(name)
+    rows: List[tuple] = [()]
+    for relation in relations:
+        rows = [prefix + row for prefix in rows for row in relation.rows]
+    return Relation(schema, rows)
+
+
+def duplicate_eliminate(relation: Relation) -> List[Tuple[tuple, int]]:
+    """δ: distinct rows with their *derivation counts*.
+
+    The count of a row is the number of input tuples that collapse onto
+    it -- exactly the paper's notion (Section 2.2, "Derivation count").
+    First-appearance order is preserved.
+    """
+    counts: Counter = Counter()
+    order: List[tuple] = []
+    for row in relation.rows:
+        if row not in counts:
+            order.append(row)
+        counts[row] += 1
+    return [(row, counts[row]) for row in order]
+
+
+def _sort_key_cell(value: object):
+    if isinstance(value, Node):
+        return value.id
+    return value
+
+
+def sort_rows(relation: Relation, columns: Sequence[str] | None = None) -> Relation:
+    """s: sort by the given columns (defaults to all, left to right).
+
+    ID-valued (or node-valued) cells sort in document order; everything
+    else sorts by its natural order.
+    """
+    names = relation.schema if columns is None else tuple(columns)
+    indices = [relation.column_index(name) for name in names]
+    ordered = sorted(
+        relation.rows, key=lambda row: tuple(_sort_key_cell(row[i]) for i in indices)
+    )
+    return Relation(relation.schema, ordered)

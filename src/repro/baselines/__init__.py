@@ -1,0 +1,13 @@
+"""Comparison baselines for the experiments.
+
+* :mod:`repro.baselines.recompute` -- evaluate the view from scratch on
+  the updated document (Section 6.5's "Full" bars).
+* :mod:`repro.baselines.ivma` -- a re-implementation of the IVMA
+  node-at-a-time maintenance algorithm of [Sawires et al. 2005], which
+  propagates one added/removed node per call (Section 6.6).
+"""
+
+from repro.baselines.recompute import full_recompute, recompute_after_update
+from repro.baselines.ivma import IVMAMaintainer
+
+__all__ = ["IVMAMaintainer", "full_recompute", "recompute_after_update"]

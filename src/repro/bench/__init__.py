@@ -1,0 +1,41 @@
+"""Experiment harness: drivers and printers for every paper figure.
+
+Each ``run_*`` function in :mod:`repro.bench.experiments` regenerates
+the data series of one figure (or figure group) of Section 6 and
+returns plain-dict rows; :mod:`repro.bench.harness` holds the shared
+machinery (fresh engine construction, timing capture, table
+formatting).  The ``benchmarks/`` directory wraps these drivers in
+pytest-benchmark entry points, one module per figure.
+"""
+
+from repro.bench.harness import (
+    BreakdownRow,
+    format_rows,
+    fresh_engine,
+    run_maintenance_pair,
+)
+from repro.bench.experiments import (
+    run_annotation_variants,
+    run_breakdown_matrix,
+    run_path_depth,
+    run_reduction_rule,
+    run_scalability,
+    run_snowcaps_vs_leaves,
+    run_vs_full,
+    run_vs_ivma,
+)
+
+__all__ = [
+    "BreakdownRow",
+    "format_rows",
+    "fresh_engine",
+    "run_annotation_variants",
+    "run_breakdown_matrix",
+    "run_maintenance_pair",
+    "run_path_depth",
+    "run_reduction_rule",
+    "run_scalability",
+    "run_snowcaps_vs_leaves",
+    "run_vs_full",
+    "run_vs_ivma",
+]

@@ -1,0 +1,95 @@
+"""Δ table computation: Algorithm 2 (CD+) and its deletion mirror (CD−).
+
+For every view node ``n`` labeled ``l``, the Δ+ table collects the
+``(ID, val, cont)`` tuples of the ``l``-labeled nodes among the newly
+inserted subtrees (``extr-pattern(//l, t_i)`` over every inserted tree
+``t_i``); the Δ− table collects the doomed nodes of that label.
+
+Δ tables here hold node references (IDs plus lazily-derived val/cont),
+filtered by the view node's σ value predicate up front -- the paper's
+``σ_n(Δ+_n)`` push-down that powers Prop. 3.6/Example 3.5 pruning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.pattern.evaluate import filter_by_predicate
+from repro.pattern.tree_pattern import Pattern
+from repro.xmldom.dewey import DeweyID
+from repro.xmldom.model import Node
+
+
+class DeltaTables:
+    """Per-pattern-node Δ tables (insert or delete flavour)."""
+
+    def __init__(self, pattern: Pattern, tables: Dict[str, List[Node]], sign: str):
+        if sign not in ("+", "-"):
+            raise ValueError("sign must be '+' or '-', got %r" % sign)
+        self.pattern = pattern
+        self.tables = tables
+        self.sign = sign
+
+    def nodes(self, name: str) -> List[Node]:
+        return self.tables.get(name, [])
+
+    def is_empty(self, name: str) -> bool:
+        return not self.tables.get(name)
+
+    def nonempty_names(self) -> List[str]:
+        return [name for name, rows in self.tables.items() if rows]
+
+    def all_ids(self) -> set:
+        out = set()
+        for rows in self.tables.values():
+            for node in rows:
+                out.add(node.id)
+        return out
+
+    def __repr__(self) -> str:
+        sizes = {name: len(rows) for name, rows in self.tables.items() if rows}
+        return "DeltaTables(Δ%s, %r)" % (self.sign, sizes)
+
+
+def _extract_for_pattern(pattern: Pattern, candidates: Sequence[Node]) -> Dict[str, List[Node]]:
+    tables: Dict[str, List[Node]] = {}
+    for node in pattern.nodes():
+        matches = filter_by_predicate(candidates, node)
+        matches.sort(key=lambda n: n.id)
+        tables[node.name] = matches
+    return tables
+
+
+def compute_delta_plus(pattern: Pattern, inserted_roots: Sequence[Node]) -> DeltaTables:
+    """CD+ (Algorithm 2): Δ+ tables from freshly inserted subtrees.
+
+    ``inserted_roots`` are the copies produced by *apply-insert*, so
+    their nodes already carry the Dewey IDs assigned in the document.
+    """
+    candidates: List[Node] = []
+    for root in inserted_roots:
+        candidates.extend(root.self_and_descendants())
+    return DeltaTables(pattern, _extract_for_pattern(pattern, candidates), "+")
+
+
+def compute_delta_minus(pattern: Pattern, removed_nodes: Sequence[Node]) -> DeltaTables:
+    """CD−: Δ− tables from the doomed node set (targets + descendants)."""
+    return DeltaTables(pattern, _extract_for_pattern(pattern, removed_nodes), "-")
+
+
+def doomed_nodes(targets: Sequence[Node]) -> List[Node]:
+    """Expand deletion targets to the full removed node set, pre-apply.
+
+    XQuery delete semantics removes each target with its whole subtree;
+    CD− needs the full set *before* the document is touched, so that
+    term evaluation still sees the old canonical relations.
+    """
+    out: List[Node] = []
+    seen: set = set()
+    for target in targets:
+        for node in target.self_and_descendants():
+            if node.id not in seen:
+                seen.add(node.id)
+                out.append(node)
+    out.sort(key=lambda n: n.id)
+    return out

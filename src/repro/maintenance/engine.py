@@ -1,0 +1,488 @@
+"""End-to-end maintenance driver with the experiments' phase breakdown.
+
+The engine owns a document plus any number of registered views (each
+with its materialized extent and snowcap lattice) and propagates
+statement-level updates through the combined PINT/MT and PDDT/MT
+pipelines (Figures 8 and 9), timing the five phases reported throughout
+Section 6:
+
+* **Find Target Nodes** -- evaluating the update's target path
+  (the job the paper delegates to Saxon);
+* **Compute Delta Tables** -- CD+ / CD−;
+* **Get Update Expression** -- developing the 2^k − 1 terms and pruning
+  them (Props. 3.3/3.6/3.8 resp. 4.2/4.3/4.7);
+* **Execute Update** -- evaluating surviving terms and applying tuple
+  additions / derivation-count decrements / val-cont rewrites;
+* **Update Lattice** -- maintaining the materialized snowcaps.
+
+Exactness note (beyond the paper): an update can flip the σ value
+predicate of an *existing* node (e.g. inserting text under a node whose
+``val`` a view filters on).  The 2^k − 1 terms cannot express this --
+their all-R term is the unchanged view.  The engine detects the
+situation from ID-based ancestry plus a val snapshot and falls back to
+recomputing the affected view, flagging ``predicate_fallback`` in the
+report; none of the paper's workloads trigger it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.maintenance.delta import (
+    DeltaTables,
+    compute_delta_minus,
+    compute_delta_plus,
+    doomed_nodes,
+)
+from repro.maintenance.delete import (
+    et_del,
+    pddt_apply,
+    pdmt,
+    surviving_delete_terms,
+)
+from repro.maintenance.insert import (
+    et_ins,
+    pimt,
+    snowcap_additions,
+    surviving_insert_terms,
+)
+from repro.pattern.evaluate import Sources, filter_by_predicate
+from repro.pattern.tree_pattern import Pattern
+from repro.pattern.xquery import ViewDefinition
+from repro.updates.language import DeleteUpdate, InsertUpdate, UpdateStatement
+from repro.updates.pul import apply_pul, compute_pul
+from repro.views.lattice import SnowcapLattice
+from repro.views.view import MaterializedView
+from repro.xmldom.dewey import DeweyID
+from repro.xmldom.model import Document, Node
+
+PHASES = (
+    "find_target_nodes",
+    "compute_delta_tables",
+    "get_update_expression",
+    "execute_update",
+    "update_lattice",
+)
+
+
+class PhaseTimes:
+    """Per-phase wall-clock seconds for one propagated update."""
+
+    def __init__(self) -> None:
+        self.find_target_nodes = 0.0
+        self.compute_delta_tables = 0.0
+        self.get_update_expression = 0.0
+        self.execute_update = 0.0
+        self.update_lattice = 0.0
+
+    def total(self) -> float:
+        return sum(getattr(self, phase) for phase in PHASES)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {phase: getattr(self, phase) for phase in PHASES}
+
+    def add(self, other: "PhaseTimes") -> None:
+        for phase in PHASES:
+            setattr(self, phase, getattr(self, phase) + getattr(other, phase))
+
+    def __repr__(self) -> str:
+        parts = ", ".join("%s=%.4f" % (phase, getattr(self, phase)) for phase in PHASES)
+        return "PhaseTimes(%s)" % parts
+
+
+class ViewReport:
+    """Outcome of propagating one update to one view."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.phases = PhaseTimes()
+        self.targets = 0
+        self.delta_sizes: Dict[str, int] = {}
+        self.terms_developed = 0
+        self.terms_surviving = 0
+        self.derivations_added = 0
+        self.tuples_modified = 0
+        self.tuples_removed = 0
+        self.derivations_removed = 0
+        self.term_eval_seconds = 0.0
+        self.predicate_fallback = False
+
+    def __repr__(self) -> str:
+        return (
+            "ViewReport(%s: +%d der, -%d der, mod %d, terms %d/%d, %.4fs)"
+            % (
+                self.name,
+                self.derivations_added,
+                self.derivations_removed,
+                self.tuples_modified,
+                self.terms_surviving,
+                self.terms_developed,
+                self.phases.total(),
+            )
+        )
+
+
+class PropagationReport:
+    """Outcome of one statement across all registered views."""
+
+    def __init__(self, statement: UpdateStatement):
+        self.statement = statement
+        self.view_reports: Dict[str, ViewReport] = {}
+        self.apply_document_seconds = 0.0
+        self.pul_size = 0
+
+    def report_for(self, name: str) -> ViewReport:
+        return self.view_reports[name]
+
+    def total_maintenance_seconds(self) -> float:
+        return sum(report.phases.total() for report in self.view_reports.values())
+
+    def __repr__(self) -> str:
+        return "PropagationReport(%s, %d views, %.4fs)" % (
+            self.statement.name,
+            len(self.view_reports),
+            self.total_maintenance_seconds(),
+        )
+
+
+class RegisteredView:
+    """A view under maintenance: extent + lattice + options."""
+
+    def __init__(self, name: str, view: MaterializedView, lattice: SnowcapLattice,
+                 definition: Optional[ViewDefinition] = None):
+        self.name = name
+        self.view = view
+        self.lattice = lattice
+        self.definition = definition
+
+    @property
+    def pattern(self) -> Pattern:
+        return self.view.pattern
+
+    def __repr__(self) -> str:
+        return "RegisteredView(%s, %d tuples, %s lattice)" % (
+            self.name,
+            len(self.view),
+            self.lattice.strategy,
+        )
+
+
+class MaintenanceEngine:
+    """Propagates statement-level updates to registered views."""
+
+    def __init__(
+        self,
+        document: Document,
+        prune_even_terms: bool = True,
+        use_data_pruning: bool = True,
+        use_id_pruning: bool = True,
+    ):
+        self.document = document
+        self.prune_even_terms = prune_even_terms
+        self.use_data_pruning = use_data_pruning
+        self.use_id_pruning = use_id_pruning
+        self.views: Dict[str, RegisteredView] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def register_view(
+        self,
+        view_source: Union[Pattern, ViewDefinition, str],
+        name: Optional[str] = None,
+        strategy: str = "snowcaps",
+        update_profile: Optional[Sequence[str]] = None,
+    ) -> RegisteredView:
+        """Materialize a view (and its snowcaps) over the document.
+
+        ``view_source`` may be a tree pattern, a parsed
+        :class:`ViewDefinition`, or the view's XQuery text.
+        ``update_profile`` optionally lists the labels the workload is
+        expected to update, steering the cost-based snowcap selection
+        (Section 3.5).
+        """
+        definition: Optional[ViewDefinition] = None
+        if isinstance(view_source, str):
+            from repro.pattern.xquery import parse_view
+
+            definition = parse_view(view_source)
+            pattern = definition.pattern
+        elif isinstance(view_source, ViewDefinition):
+            definition = view_source
+            pattern = definition.pattern
+        else:
+            pattern = view_source
+        name = name or "view%d" % (len(self.views) + 1)
+        if name in self.views:
+            raise ValueError("a view named %r is already registered" % name)
+        view = MaterializedView.materialize(pattern, self.document, name=name)
+        lattice = SnowcapLattice(pattern, strategy=strategy, update_profile=update_profile)
+        lattice.materialize(self.document)
+        registered = RegisteredView(name, view, lattice, definition)
+        self.views[name] = registered
+        return registered
+
+    def unregister_view(self, name: str) -> None:
+        del self.views[name]
+
+    # -- source relations ---------------------------------------------------
+
+    def _sources_excluding(self, pattern: Pattern, excluded_ids: set) -> Sources:
+        """σ-filtered canonical relations, minus the given node IDs.
+
+        After an insert has been applied, R_old = R_new − Δ+.  Labels
+        untouched by the update and free of value predicates reference
+        the live canonical relation directly (no copy): term evaluation
+        never mutates its sources, so copying is pure overhead.
+        """
+        excluded_labels = {node_id.label for node_id in excluded_ids}
+        sources: Sources = {}
+        for node in pattern.nodes():
+            if node.label == "*":
+                candidates: List[Node] = sorted(
+                    self.document.all_elements(), key=lambda n: n.id
+                )
+            else:
+                candidates = self.document.nodes_with_label(node.label)
+                if node.value_pred is None and node.label not in excluded_labels:
+                    sources[node.name] = candidates
+                    continue
+            rows = filter_by_predicate(candidates, node)
+            if excluded_ids:
+                rows = [n for n in rows if n.id not in excluded_ids]
+            sources[node.name] = rows
+        return sources
+
+    def _sources_current(self, pattern: Pattern) -> Sources:
+        return self._sources_excluding(pattern, set())
+
+    # -- propagation ------------------------------------------------------------
+
+    def apply_update(self, statement: UpdateStatement) -> PropagationReport:
+        """Propagate one statement: document update + all views."""
+        if isinstance(statement, InsertUpdate):
+            return self._apply_insert(statement)
+        if isinstance(statement, DeleteUpdate):
+            return self._apply_delete(statement)
+        raise TypeError("unknown statement %r" % (statement,))
+
+    # .. insertions ............................................................
+
+    def _apply_insert(self, statement: InsertUpdate) -> PropagationReport:
+        report = PropagationReport(statement)
+
+        started = time.perf_counter()
+        pul = compute_pul(self.document, statement)
+        find_targets_seconds = time.perf_counter() - started
+        report.pul_size = len(pul)
+        target_ids = [op.target.id for op in pul.inserts()]
+
+        watchlists = {
+            name: self._watch_predicates(registered.pattern, target_ids)
+            for name, registered in self.views.items()
+        }
+
+        applied = apply_pul(self.document, pul)
+        report.apply_document_seconds = applied.apply_seconds
+        inserted_ids = {
+            node.id
+            for root in applied.inserted_roots
+            for node in root.self_and_descendants()
+        }
+
+        for name, registered in self.views.items():
+            view_report = ViewReport(name)
+            view_report.targets = len(target_ids)
+            view_report.phases.find_target_nodes = find_targets_seconds
+            pattern = registered.pattern
+
+            if self._watch_changed(watchlists[name]):
+                self._recompute(registered)
+                view_report.predicate_fallback = True
+                report.view_reports[name] = view_report
+                continue
+
+            started = time.perf_counter()
+            deltas = compute_delta_plus(pattern, applied.inserted_roots)
+            view_report.phases.compute_delta_tables = time.perf_counter() - started
+            view_report.delta_sizes = {
+                node_name: len(rows) for node_name, rows in deltas.tables.items()
+            }
+
+            started = time.perf_counter()
+            terms, developed = surviving_insert_terms(
+                pattern,
+                deltas,
+                target_ids,
+                self.use_data_pruning,
+                self.use_id_pruning,
+            )
+            view_report.phases.get_update_expression = time.perf_counter() - started
+            view_report.terms_developed = developed
+            view_report.terms_surviving = len(terms)
+
+            started = time.perf_counter()
+            view_report.tuples_modified = pimt(registered.view, self.document, target_ids)
+            r_sources = self._sources_excluding(pattern, inserted_ids)
+            view_report.derivations_added, view_report.term_eval_seconds = et_ins(
+                registered.view, terms, r_sources, deltas, registered.lattice
+            )
+            view_report.phases.execute_update = time.perf_counter() - started
+
+            started = time.perf_counter()
+            additions = snowcap_additions(
+                pattern,
+                registered.lattice,
+                r_sources,
+                deltas,
+                target_ids,
+                self.use_data_pruning,
+                self.use_id_pruning,
+            )
+            registered.lattice.apply_insert_additions(additions)
+            view_report.phases.update_lattice = time.perf_counter() - started
+
+            report.view_reports[name] = view_report
+        return report
+
+    # .. deletions ..............................................................
+
+    def _apply_delete(self, statement: DeleteUpdate) -> PropagationReport:
+        report = PropagationReport(statement)
+
+        started = time.perf_counter()
+        pul = compute_pul(self.document, statement)
+        find_targets_seconds = time.perf_counter() - started
+        report.pul_size = len(pul)
+        targets = [op.target for op in pul.deletes()]
+        target_ids = [node.id for node in targets]
+        doomed = doomed_nodes(targets)
+        doomed_ids = {node.id for node in doomed}
+
+        watchlists = {
+            name: self._watch_predicates(
+                registered.pattern, target_ids, excluded_ids=doomed_ids
+            )
+            for name, registered in self.views.items()
+        }
+
+        # Per-view term evaluation happens against the *old* document.
+        removals_by_view: Dict[str, Dict[tuple, int]] = {}
+        for name, registered in self.views.items():
+            view_report = ViewReport(name)
+            view_report.targets = len(target_ids)
+            view_report.phases.find_target_nodes = find_targets_seconds
+            pattern = registered.pattern
+
+            started = time.perf_counter()
+            deltas = compute_delta_minus(pattern, doomed)
+            view_report.phases.compute_delta_tables = time.perf_counter() - started
+            view_report.delta_sizes = {
+                node_name: len(rows) for node_name, rows in deltas.tables.items()
+            }
+
+            started = time.perf_counter()
+            terms, developed = surviving_delete_terms(
+                pattern,
+                deltas,
+                self.prune_even_terms,
+                self.use_data_pruning,
+                self.use_id_pruning,
+            )
+            view_report.phases.get_update_expression = time.perf_counter() - started
+            view_report.terms_developed = developed
+            view_report.terms_surviving = len(terms)
+
+            started = time.perf_counter()
+            r_sources = self._sources_current(pattern)
+            removals, view_report.term_eval_seconds = et_del(
+                registered.view, terms, r_sources, deltas, registered.lattice
+            )
+            tuples_removed, derivations_removed = pddt_apply(registered.view, removals)
+            view_report.tuples_removed = tuples_removed
+            view_report.derivations_removed = derivations_removed
+            view_report.phases.execute_update = time.perf_counter() - started
+
+            removals_by_view[name] = removals
+            report.view_reports[name] = view_report
+
+        applied = apply_pul(self.document, pul)
+        report.apply_document_seconds = applied.apply_seconds
+
+        for name, registered in self.views.items():
+            view_report = report.view_reports[name]
+            if self._watch_changed(watchlists[name]):
+                self._recompute(registered)
+                view_report.predicate_fallback = True
+                continue
+            started = time.perf_counter()
+            view_report.tuples_modified = pdmt(registered.view, self.document, target_ids)
+            view_report.phases.execute_update += time.perf_counter() - started
+
+            started = time.perf_counter()
+            registered.lattice.apply_delete(doomed_ids)
+            view_report.phases.update_lattice = time.perf_counter() - started
+        return report
+
+    # -- sequences (Section 5) ------------------------------------------------
+
+    def apply_sequence(
+        self, statements: Sequence[UpdateStatement], optimize: bool = False
+    ) -> List[PropagationReport]:
+        """Propagate a sequence of statements, optionally PUL-optimized.
+
+        With ``optimize=True`` the statements' atomic operations are
+        first reduced by the rules of Section 5 (O1, O3, I5); the
+        reduced sequence is then applied to document and views.
+        """
+        if not optimize:
+            return [self.apply_update(statement) for statement in statements]
+        from repro.optimizer.rules import reduce_statements
+
+        reduced = reduce_statements(self.document, statements)
+        return [self.apply_update(statement) for statement in reduced]
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _watch_predicates(
+        self,
+        pattern: Pattern,
+        target_ids: Sequence[DeweyID],
+        excluded_ids: Optional[set] = None,
+    ) -> List[Tuple[DeweyID, str, bool]]:
+        """Snapshot (node, constant, satisfied) for flippable σ nodes."""
+        watch: List[Tuple[DeweyID, str, bool]] = []
+        if not target_ids:
+            return watch
+        for node in pattern.nodes():
+            if node.value_pred is None:
+                continue
+            candidates = (
+                sorted(self.document.all_elements(), key=lambda n: n.id)
+                if node.label == "*"
+                else self.document.nodes_with_label(node.label)
+            )
+            for candidate in candidates:
+                if excluded_ids and candidate.id in excluded_ids:
+                    continue
+                if any(candidate.id.is_ancestor_or_self(t) for t in target_ids):
+                    watch.append(
+                        (candidate.id, node.value_pred, candidate.val == node.value_pred)
+                    )
+        return watch
+
+    def _watch_changed(self, watch: List[Tuple[DeweyID, str, bool]]) -> bool:
+        for node_id, constant, satisfied in watch:
+            node = self.document.node_by_id(node_id)
+            now = node is not None and node.val == constant
+            if now != satisfied:
+                return True
+        return False
+
+    def _recompute(self, registered: RegisteredView) -> None:
+        """Predicate-flip fallback: rebuild extent and lattice."""
+        fresh = MaterializedView.materialize(
+            registered.pattern, self.document, name=registered.name
+        )
+        registered.view._store = fresh._store
+        registered.lattice.materialize(self.document)

@@ -1,0 +1,238 @@
+"""Insertion propagation: PINT (Alg. 1), ET-INS (Alg. 3), PIMT (Alg. 4).
+
+The driver (:mod:`repro.maintenance.engine`) computes the PUL, applies
+the document insert (obtaining the inserted subtrees' fresh Dewey IDs)
+and calls CD+; this module contains the view-side work:
+
+* :func:`et_ins` -- evaluate the surviving union terms and merge their
+  projected tuples into the view with derivation counts (the two loops
+  of Algorithm 3);
+* :func:`pimt` -- rewrite the ``val`` / ``cont`` attributes of existing
+  view tuples whose stored nodes gained new descendants (Algorithm 4);
+* :func:`snowcap_additions` -- incremental upkeep of the materialized
+  snowcaps (Prop. 3.13): each snowcap is itself a view whose surviving
+  terms are evaluated from smaller snowcaps, the leaves, and Δ+.
+
+As in the paper's implementation, the engine runs the combined PINT/MT:
+one PUL computation, PIMT's rewrites, then ET-INS additions, then one
+lattice update.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algebra.relation import Relation
+from repro.maintenance.delta import DeltaTables
+from repro.maintenance.terms import (
+    NodeSet,
+    Term,
+    evaluate_term,
+    expand_insert_terms,
+    prune_by_empty_delta,
+    prune_insert_by_ids,
+)
+from repro.pattern.evaluate import Sources, project_bindings
+from repro.pattern.tree_pattern import Pattern
+from repro.views.lattice import SnowcapLattice
+from repro.views.view import MaterializedView
+from repro.xmldom.dewey import DeweyID
+from repro.xmldom.model import Document, Node
+
+
+def surviving_insert_terms(
+    pattern: Pattern,
+    deltas: DeltaTables,
+    target_ids: Sequence[DeweyID],
+    use_data_pruning: bool = True,
+    use_id_pruning: bool = True,
+) -> Tuple[List[Term], int]:
+    """Develop and prune the union terms; returns (survivors, developed).
+
+    Development already embodies Prop. 3.3 (only snowcap-complement
+    Δ-sets are generated); the optional prunings are Prop. 3.6
+    (``use_data_pruning``) and Prop. 3.8 (``use_id_pruning``).
+    """
+    terms = expand_insert_terms(pattern)
+    developed = len(terms)
+    if use_data_pruning:
+        terms = prune_by_empty_delta(terms, deltas)
+    if use_id_pruning:
+        terms = prune_insert_by_ids(terms, pattern, target_ids)
+    return terms, developed
+
+
+def et_ins(
+    view: MaterializedView,
+    terms: Sequence[Term],
+    r_sources: Sources,
+    deltas: DeltaTables,
+    lattice: Optional[SnowcapLattice] = None,
+) -> Tuple[int, float]:
+    """Algorithm 3: evaluate terms, add results to the view.
+
+    Returns ``(derivations added, term-evaluation seconds)``; the
+    latter isolates the (R) measurement of Section 6.7.  Tuples already
+    present have their derivation count increased; new tuples enter
+    with the count of their fresh derivations.
+    """
+    import time
+
+    pattern = view.pattern
+    added = 0
+    accumulated: Dict[tuple, int] = {}
+    eval_seconds = 0.0
+    for term in terms:
+        started = time.perf_counter()
+        bindings = evaluate_term(pattern, term, r_sources, deltas, lattice)
+        eval_seconds += time.perf_counter() - started
+        if not bindings.rows:
+            continue
+        projected = project_bindings(pattern, bindings)
+        for row in projected.rows:
+            accumulated[row] = accumulated.get(row, 0) + 1
+    for row, count in accumulated.items():
+        view.add(row, count)
+        added += count
+    return added, eval_seconds
+
+
+def pimt(
+    view: MaterializedView,
+    document: Document,
+    target_ids: Sequence[DeweyID],
+) -> int:
+    """Algorithm 4: rewrite stored val/cont affected by the insertion.
+
+    A stored node's value or content changes iff the node is the target
+    of an insert or an ancestor of one -- an ID-only test (``t.n = n_i``
+    or ``t.n ≺≺ n_i``).  Returns the number of rewritten tuples.
+    """
+    pattern = view.pattern
+    cvn = pattern.content_nodes()
+    if not cvn or not target_ids:
+        return 0
+    columns = pattern.return_columns()
+    column_index = {pair: i for i, pair in enumerate(columns)}
+    replacements: List[Tuple[tuple, tuple]] = []
+    for row, _count in view.content():
+        new_row = None
+        for node in cvn:
+            id_index = column_index[(node.name, "ID")]
+            stored_id: DeweyID = row[id_index]
+            if not any(stored_id.is_ancestor_or_self(target) for target in target_ids):
+                continue
+            doc_node = document.node_by_id(stored_id)
+            if doc_node is None:
+                continue
+            if new_row is None:
+                new_row = list(row)
+            if node.store_val:
+                new_row[column_index[(node.name, "val")]] = doc_node.val
+            if node.store_cont:
+                new_row[column_index[(node.name, "cont")]] = doc_node.cont
+        if new_row is not None and tuple(new_row) != row:
+            replacements.append((row, tuple(new_row)))
+    for old_row, fresh_row in replacements:
+        view.replace(old_row, fresh_row)
+    return len(replacements)
+
+
+def snowcap_additions(
+    pattern: Pattern,
+    lattice: SnowcapLattice,
+    r_sources: Sources,
+    deltas: DeltaTables,
+    target_ids: Sequence[DeweyID],
+    use_data_pruning: bool = True,
+    use_id_pruning: bool = True,
+) -> Dict[NodeSet, Relation]:
+    """Rows to append to each materialized snowcap (Prop. 3.13).
+
+    The proposition's constructive proof is followed literally: along
+    the nested snowcap chain ``s_1 ⊂ s_2 ⊂ ...`` (``s_i`` extends
+    ``s_{i-1}`` by one leaf ``n_i``),
+
+        added(s_i) = added(s_{i-1}) ⋈ (R ∪ Δ+)_{n_i}
+                   ∪ old(s_{i-1})   ⋈ Δ+_{n_i}
+
+    -- two structural joins per snowcap instead of re-deriving each
+    snowcap's own union terms.  ``old`` is the pre-update materialized
+    content, so this must run before the lattice is extended.
+    """
+    from repro.algebra.structural import structural_join
+
+    additions: Dict[NodeSet, Relation] = {}
+    chain = sorted(lattice.materialized_sets(), key=len)
+    if not chain:
+        return additions
+    names = [node.name for node in pattern.nodes()]
+
+    previous_set: NodeSet = frozenset()
+    previous_added: Optional[Relation] = None
+    for subset in chain:
+        extra = subset - previous_set
+        if len(extra) != 1 or previous_set != subset - extra:
+            # Not a nested chain (custom selection): fall back to the
+            # generic term machinery for this snowcap.
+            additions[subset] = _snowcap_additions_generic(
+                pattern, subset, lattice, r_sources, deltas, target_ids,
+                use_data_pruning, use_id_pruning,
+            )
+            previous_set, previous_added = subset, additions[subset]
+            continue
+        (new_name,) = extra
+        node = pattern.node(new_name)
+        delta_rows = deltas.nodes(new_name)
+        if node.parent is None:
+            # s_1 = {root}: only freshly inserted roots can be added,
+            # and a child-axis root never is (inserts add children).
+            rows = [] if node.axis == "child" else list(delta_rows)
+            added = Relation((new_name,), [(n,) for n in rows])
+        else:
+            axis = "parent" if node.axis == "child" else "ancestor"
+            pieces: List[Relation] = []
+            if previous_added is not None and previous_added.rows:
+                both = Relation.single_column(
+                    new_name, list(r_sources[new_name]) + list(delta_rows)
+                )
+                pieces.append(
+                    structural_join(previous_added, both, node.parent.name, new_name, axis)
+                )
+            old = lattice.relation_for(previous_set)
+            if old is not None and old.rows and delta_rows:
+                delta_rel = Relation.single_column(new_name, delta_rows)
+                pieces.append(
+                    structural_join(old, delta_rel, node.parent.name, new_name, axis)
+                )
+            order = [name for name in names if name in subset]
+            added = Relation(order)
+            for piece in pieces:
+                added.extend(piece.reordered(order))
+        additions[subset] = added
+        previous_set, previous_added = subset, added
+    return {subset: added for subset, added in additions.items() if added.rows}
+
+
+def _snowcap_additions_generic(
+    pattern: Pattern,
+    subset: NodeSet,
+    lattice: SnowcapLattice,
+    r_sources: Sources,
+    deltas: DeltaTables,
+    target_ids: Sequence[DeweyID],
+    use_data_pruning: bool,
+    use_id_pruning: bool,
+) -> Relation:
+    """Union-of-terms additions for one snowcap (non-chain selections)."""
+    sub = pattern.subpattern(subset)
+    terms, _ = surviving_insert_terms(
+        sub, deltas, target_ids, use_data_pruning, use_id_pruning
+    )
+    order = [node.name for node in sub.nodes()]
+    collected = Relation(order)
+    for term in terms:
+        rows = evaluate_term(sub, term, r_sources, deltas, lattice)
+        if rows.rows:
+            collected.extend(rows.reordered(order))
+    return collected

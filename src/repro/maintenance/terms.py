@@ -1,0 +1,268 @@
+"""Union/difference terms, pruning criteria and the term evaluator.
+
+Propagating an update ``u`` to a view of ``k`` nodes means evaluating a
+union (insertions, Section 3.1) or signed difference (deletions,
+Section 4.1) of up to ``2^k − 1`` join terms.  A term assigns each view
+node either its canonical relation ``R`` or the update's Δ table; we
+represent a term by its *Δ-set* (the view nodes reading from Δ).
+
+Pruning:
+
+* **Props. 3.3 / 4.2 (update semantics).**  A term containing
+  ``Δ_{n1} ⋈ R_{n2}`` for a pattern edge ``n1 → n2`` is empty: inserts
+  add children (never parents), deletes take whole subtrees.  Hence
+  surviving Δ-sets are exactly the *descendant-closed* node sets, whose
+  complements are the snowcaps (Prop. 3.12).
+* **Prop. 3.6 (inserted data).**  A term whose Δ-set touches an empty
+  (σ-filtered) Δ table is empty.
+* **Prop. 3.8 / 4.7 (IDs).**  For a boundary edge ``R_{n1} ⋈ Δ_{n2}``:
+  if no insertion target (resp. no Δ− node) lies under -- per its Dewey
+  ID's ancestor labels -- an ``n1``-labeled node, the term is empty.
+* **Prop. 4.3 (sign parity).**  Deletion terms read the *old* canonical
+  relations, so the same doomed embedding surfaces in several terms;
+  collecting doomed embeddings as a set makes the even (add-back) terms
+  redundant, which is why dropping them -- Prop. 4.3(ii) -- is exact.
+
+Term evaluation (the body of ET-INS / ET-DEL) reuses the structural
+join machinery: the ``R``-part comes from a materialized snowcap when
+one matches (Snowcaps strategy) and is recomputed from canonical
+relations otherwise (Leaves strategy).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+
+from repro.algebra.relation import Relation
+from repro.algebra.structural import structural_join
+from repro.maintenance.delta import DeltaTables
+from repro.pattern.evaluate import Sources
+from repro.pattern.tree_pattern import Pattern, PatternNode
+from repro.views.lattice import SnowcapLattice
+from repro.xmldom.dewey import DeweyID
+from repro.xmldom.model import Node
+
+NodeSet = FrozenSet[str]
+
+
+class Term:
+    """One union/difference term, identified by its Δ-set.
+
+    ``sign`` is +1 for tuples to add (insertions) and, for deletions,
+    the inclusion-exclusion coefficient: +1 removes derivations, −1
+    restores them (the paper's ∪-prefixed positive terms).
+    """
+
+    __slots__ = ("delta_set", "sign")
+
+    def __init__(self, delta_set: NodeSet, sign: int = 1):
+        self.delta_set = delta_set
+        self.sign = sign
+
+    @property
+    def r_set_is_snowcap(self) -> bool:
+        return True  # by construction after Prop. 3.3/4.2 pruning
+
+    def r_set(self, pattern: Pattern) -> NodeSet:
+        return frozenset(pattern.node_names()) - self.delta_set
+
+    def __repr__(self) -> str:
+        return "Term(Δ=%s, sign=%+d)" % (sorted(self.delta_set), self.sign)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Term)
+            and self.delta_set == other.delta_set
+            and self.sign == other.sign
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.delta_set, self.sign))
+
+
+def _descendant_closed_sets(pattern: Pattern) -> List[NodeSet]:
+    """All non-empty Δ-sets closed under taking pattern children.
+
+    Equivalently: complements of snowcaps (including the empty
+    snowcap, i.e., the all-Δ term).  Computed by choosing, top-down,
+    which subtrees fall entirely into the Δ-set.
+    """
+    names = pattern.node_names()
+    children: Dict[str, List[str]] = {name: [] for name in names}
+    for parent, child in pattern.edges():
+        children[parent.name].append(child.name)
+
+    def subtree(name: str) -> List[str]:
+        out = [name]
+        for child in children[name]:
+            out.extend(subtree(child))
+        return out
+
+    results: List[NodeSet] = []
+
+    def grow(frontier: List[str], acc: Set[str]) -> None:
+        # frontier: nodes whose membership is still to decide; any node
+        # chosen for Δ drags its entire subtree along.
+        if not frontier:
+            if acc:
+                results.append(frozenset(acc))
+            return
+        head, *rest = frontier
+        # head goes fully to Δ:
+        grow(rest, acc | set(subtree(head)))
+        # head stays R: its children become frontier decisions.
+        grow(rest + children[head], acc)
+
+    grow([names[0]], set())
+    return sorted(results, key=lambda s: (len(s), sorted(s)))
+
+
+def expand_insert_terms(pattern: Pattern) -> List[Term]:
+    """The insertion terms surviving Prop. 3.3.
+
+    One term per non-empty descendant-closed Δ-set; the term's R-part
+    is a snowcap of the view's lattice (Prop. 3.12).
+    """
+    return [Term(delta_set, +1) for delta_set in _descendant_closed_sets(pattern)]
+
+
+def expand_delete_terms(pattern: Pattern, prune_even_terms: bool = False) -> List[Term]:
+    """The deletion terms surviving Prop. 4.2, signed per Prop. 4.3(i).
+
+    ``prune_even_terms`` applies Prop. 4.3(ii) at development time: the
+    even (add-back) terms are never generated.  ET-DEL skips them during
+    evaluation regardless (they are redundant under binding-set
+    semantics), so the flag only affects the developed-term count
+    reported by the Get-Update-Expression phase.
+    """
+    terms = []
+    for delta_set in _descendant_closed_sets(pattern):
+        sign = +1 if len(delta_set) % 2 == 1 else -1
+        if prune_even_terms and sign < 0:
+            continue
+        terms.append(Term(delta_set, sign))
+    return terms
+
+
+def prune_by_empty_delta(terms: Sequence[Term], deltas: DeltaTables) -> List[Term]:
+    """Prop. 3.6: drop terms whose Δ-set touches an empty Δ table."""
+    return [
+        term
+        for term in terms
+        if all(not deltas.is_empty(name) for name in term.delta_set)
+    ]
+
+
+def _boundary_parents(pattern: Pattern, delta_set: NodeSet) -> List[PatternNode]:
+    """R-side nodes with at least one Δ-side pattern child."""
+    out = []
+    for parent, child in pattern.edges():
+        if parent.name not in delta_set and child.name in delta_set:
+            out.append(parent)
+    return out
+
+
+def prune_insert_by_ids(
+    terms: Sequence[Term],
+    pattern: Pattern,
+    insertion_target_ids: Sequence[DeweyID],
+) -> List[Term]:
+    """Prop. 3.8: ID-driven pruning for insertions.
+
+    For a boundary sub-expression ``R_{n1} ⋈ Δ+_{n2}`` to produce
+    anything, some *existing* ``n1``-labeled node must be an ancestor of
+    an inserted node; inserted nodes live under insertion targets, so
+    some target must be labeled ``n1`` or have an ``n1``-labeled
+    ancestor -- checked purely on the targets' Dewey IDs.
+    """
+    surviving: List[Term] = []
+    for term in terms:
+        dead = False
+        for parent in _boundary_parents(pattern, term.delta_set):
+            label = parent.label
+            if label == "*":
+                continue  # a wildcard matches any ancestor; cannot prune
+            if not any(
+                target.label == label or target.has_ancestor_labeled(label)
+                for target in insertion_target_ids
+            ):
+                dead = True
+                break
+        if not dead:
+            surviving.append(term)
+    return surviving
+
+
+def prune_delete_by_ids(
+    terms: Sequence[Term],
+    pattern: Pattern,
+    deltas: DeltaTables,
+) -> List[Term]:
+    """Prop. 4.7: ID-driven pruning for deletions.
+
+    ``R_{n1} ⋈ Δ−_{n2}`` is empty when no Δ− node of ``n2`` has an
+    ``n1``-labeled ancestor (per its ID's encoded label path).
+    """
+    surviving: List[Term] = []
+    for term in terms:
+        dead = False
+        for parent, child in pattern.edges():
+            if parent.name in term.delta_set or child.name not in term.delta_set:
+                continue
+            label = parent.label
+            if label == "*":
+                continue
+            if not any(
+                node.id.has_ancestor_labeled(label) for node in deltas.nodes(child.name)
+            ):
+                dead = True
+                break
+        if not dead:
+            surviving.append(term)
+    return surviving
+
+
+def evaluate_term(
+    pattern: Pattern,
+    term: Term,
+    r_sources: Sources,
+    deltas: DeltaTables,
+    lattice: Optional[SnowcapLattice] = None,
+) -> Relation:
+    """Evaluate one term into a binding relation over all view nodes.
+
+    Per-node inputs: Δ tables for the term's Δ-set, canonical relations
+    (``r_sources``, σ already applied) elsewhere.  When the R-part
+    coincides with a materialized snowcap, its stored relation is the
+    join seed (the Snowcaps strategy); otherwise the R-part is built
+    from the leaves on the fly (the Leaves strategy).
+    """
+    nodes = pattern.nodes()
+    relation: Optional[Relation] = None
+    r_set = term.r_set(pattern)
+    if lattice is not None and r_set:
+        # Joins never mutate their inputs, so the stored relation can
+        # seed the pipeline directly.
+        relation = lattice.relation_for(r_set)
+    for node in nodes:
+        if relation is not None and node.name in relation.schema:
+            continue
+        if node.name in term.delta_set:
+            source = deltas.nodes(node.name)
+        else:
+            source = r_sources[node.name]
+        if node.parent is None:
+            # Pattern root.  A child-axis root must sit at the document
+            # root; inserted nodes never can (inserts add children).
+            if node.axis == "child":
+                source = [n for n in source if n.id.depth == 1]
+            relation = Relation.single_column(node.name, source)
+        else:
+            right = Relation.single_column(node.name, source)
+            axis = "parent" if node.axis == "child" else "ancestor"
+            assert relation is not None and node.parent.name in relation.schema
+            relation = structural_join(relation, right, node.parent.name, node.name, axis)
+        if not relation.rows:
+            return Relation([n.name for n in nodes])
+    assert relation is not None
+    return relation.reordered([n.name for n in nodes])

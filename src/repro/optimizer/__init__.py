@@ -1,0 +1,37 @@
+"""PUL optimization (Section 5, after Cavalieri et al. 2011).
+
+The paper interleaves its statement-level maintenance with the PUL
+calculus of [Cavalieri et al. 2011]: statements are compiled to atomic
+operations (``ins↘`` -- insert a forest after the last child -- and
+``del``), which are then
+
+* **reduced** (:mod:`repro.optimizer.rules`): O1 (op then delete of the
+  same node), O3 (op then delete of an ancestor), I5 (merge same-target
+  insertions);
+* **checked for conflicts** when two PULs run in parallel
+  (:mod:`repro.optimizer.conflicts`): IO (insertion order), LO (local
+  override), NLO (non-local override);
+* **aggregated** when two PULs run sequentially
+  (:mod:`repro.optimizer.aggregation`): A1/A2 (merge same-target
+  inserts across PULs), D6 (fold an op targeting a node of a
+  to-be-inserted tree into that tree).
+
+The optimized atomic sequence is what PINT/PDDT propagate (Figure 13).
+"""
+
+from repro.optimizer.ops import Del, Ins, Operation, pul_to_operations
+from repro.optimizer.rules import reduce_operations, reduce_statements
+from repro.optimizer.conflicts import Conflict, detect_conflicts
+from repro.optimizer.aggregation import aggregate_puls
+
+__all__ = [
+    "Conflict",
+    "Del",
+    "Ins",
+    "Operation",
+    "aggregate_puls",
+    "detect_conflicts",
+    "pul_to_operations",
+    "reduce_operations",
+    "reduce_statements",
+]

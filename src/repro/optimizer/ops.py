@@ -1,0 +1,79 @@
+"""Atomic update operations in the Cavalieri et al. calculus.
+
+Two operation kinds cover the paper's Section 5 fragment:
+
+* ``ins↘(v, P)`` -- :class:`Ins`: insert forest ``P`` after the last
+  child of the node identified by ``v``;
+* ``del(v)`` -- :class:`Del`: delete the node identified by ``v``.
+
+Targets are Dewey IDs (the paper: "we represent the PULs in our
+syntax, i.e., by making the IDs of nodes explicit").  Forests are
+detached node trees; merging operations concatenates forests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from repro.updates.pul import AtomicDelete, AtomicInsert, PendingUpdateList
+from repro.xmldom.dewey import DeweyID
+from repro.xmldom.model import Node, deep_copy
+from repro.xmldom.parser import parse_fragment
+
+
+class Operation:
+    """Base class; ``target`` is a Dewey ID."""
+
+    kind = "op"
+
+    def __init__(self, target: DeweyID):
+        self.target = target
+
+    def __repr__(self) -> str:
+        return "%s(%s)" % (self.kind, self.target)
+
+
+class Ins(Operation):
+    """``ins↘(target, forest)``."""
+
+    kind = "ins"
+
+    def __init__(self, target: DeweyID, forest: Union[str, Sequence[Node]]):
+        super().__init__(target)
+        if isinstance(forest, str):
+            self.forest: List[Node] = parse_fragment(forest)
+        else:
+            self.forest = list(forest)
+
+    def merged_with(self, other: "Ins") -> "Ins":
+        """Rule I5 / A1: one insertion carrying both forests, in order."""
+        if other.target != self.target:
+            raise ValueError("cannot merge inserts with different targets")
+        return Ins(self.target, self.forest + other.forest)
+
+    def __repr__(self) -> str:
+        return "ins↘(%s, [%s])" % (
+            self.target,
+            " ".join(tree.label for tree in self.forest),
+        )
+
+
+class Del(Operation):
+    """``del(target)``."""
+
+    kind = "del"
+
+
+def pul_to_operations(pul: PendingUpdateList) -> List[Operation]:
+    """Compile a PUL's atomic operations into the optimizer calculus.
+
+    Forests are deep-copied so that later fragment-level rewrites (rule
+    D6) cannot alias statement-owned trees.
+    """
+    out: List[Operation] = []
+    for op in pul.operations:
+        if isinstance(op, AtomicInsert):
+            out.append(Ins(op.target.id, [deep_copy(tree) for tree in op.forest]))
+        elif isinstance(op, AtomicDelete):
+            out.append(Del(op.target.id))
+    return out

@@ -1,0 +1,120 @@
+"""Reduction rules O1, O3 and I5 (Figure 14).
+
+Given one sequential list of atomic operations:
+
+* **O1** -- ``op(n, _) ; del(n)`` with ``op ∈ {ins↘, del}``: only the
+  deletion needs to run;
+* **O3** -- ``op(n, _) ; del(n')`` with ``n`` a descendant of ``n'``:
+  only the (ancestor) deletion needs to run;
+* **I5** -- ``ins↘(n, L1) ; ins↘(n, L2)``: one insertion carrying
+  ``[L1, L2]``.
+
+O1/O3 belong to stage 1 and I5 to a later stage, so the reducer first
+sweeps deletions over the list, then merges insertions.  Reduction is
+semantics-preserving on the *document*; the experiments of Section 6.8
+measure how much view-maintenance work it saves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.optimizer.ops import Del, Ins, Operation
+from repro.updates.language import UpdateStatement
+from repro.updates.pul import compute_pul
+from repro.xmldom.dewey import DeweyID
+from repro.xmldom.model import Document
+
+
+def reduce_operations(operations: Sequence[Operation]) -> List[Operation]:
+    """Apply O1, O3 and I5 to an atomic operation sequence."""
+    # Stage 1: O1/O3.  A deletion voids every *earlier* operation
+    # targeting the deleted node or any of its descendants.
+    stage1: List[Operation] = []
+    for op in operations:
+        if isinstance(op, Del):
+            target = op.target
+            stage1 = [
+                kept
+                for kept in stage1
+                if not (
+                    kept.target == target or target.is_ancestor_of(kept.target)
+                )
+            ]
+        stage1.append(op)
+    # Dedupe identical deletions (a degenerate O1 instance).
+    deduped: List[Operation] = []
+    seen_deletes = set()
+    for op in stage1:
+        if isinstance(op, Del):
+            if op.target in seen_deletes:
+                continue
+            seen_deletes.add(op.target)
+        deduped.append(op)
+    # Later stage: I5 merges insertions sharing a target, preserving the
+    # position of the first occurrence and the forests' order.
+    merged: List[Operation] = []
+    insert_at: Dict[DeweyID, int] = {}
+    for op in deduped:
+        if isinstance(op, Ins):
+            index = insert_at.get(op.target)
+            if index is not None:
+                merged[index] = merged[index].merged_with(op)  # type: ignore[union-attr]
+                continue
+            insert_at[op.target] = len(merged)
+        merged.append(op)
+    return merged
+
+
+def reduce_statements(
+    document: Document, statements: Sequence[UpdateStatement]
+) -> List[UpdateStatement]:
+    """Figure 13's CP → OR pipeline at statement granularity.
+
+    Each statement is compiled to its PUL (CP); the concatenated atomic
+    sequence is reduced (OR); the surviving operations are wrapped back
+    into statements for propagation, in order.  To preserve the bulk
+    (statement-level) character of propagation, maximal runs of
+    same-kind operations are coalesced: consecutive deletions become one
+    multi-target deletion, consecutive insertions of an identical forest
+    become one multi-target insertion.
+    """
+    from repro.optimizer.ops import pul_to_operations
+    from repro.updates.language import ResolvedDeleteUpdate, ResolvedInsertUpdate
+    from repro.xmldom.serializer import serialize_fragment
+
+    operations: List = []
+    for statement in statements:
+        operations.extend(pul_to_operations(compute_pul(document, statement)))
+    reduced = reduce_operations(operations)
+
+    out: List[UpdateStatement] = []
+
+    def forest_key(op: Ins) -> str:
+        return "".join(serialize_fragment(tree) for tree in op.forest)
+
+    index = 0
+    while index < len(reduced):
+        op = reduced[index]
+        if isinstance(op, Del):
+            targets = [op.target]
+            while index + 1 < len(reduced) and isinstance(reduced[index + 1], Del):
+                index += 1
+                targets.append(reduced[index].target)
+            out.append(ResolvedDeleteUpdate(targets, name="reduced_del_%d" % len(out)))
+        else:
+            assert isinstance(op, Ins)
+            key = forest_key(op)
+            targets = [op.target]
+            while (
+                index + 1 < len(reduced)
+                and isinstance(reduced[index + 1], Ins)
+                and forest_key(reduced[index + 1]) == key
+            ):
+                index += 1
+                targets.append(reduced[index].target)
+            out.append(
+                ResolvedInsertUpdate(targets, op.forest, name="reduced_ins_%d" % len(out))
+            )
+        index += 1
+    return out

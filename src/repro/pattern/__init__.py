@@ -1,0 +1,51 @@
+"""Tree patterns (the paper's dialect *P*) and the view/update languages.
+
+* :mod:`repro.pattern.tree_pattern` -- pattern nodes with ``/`` and
+  ``//`` edges, ``*`` wildcards, ``[val = c]`` predicates and the
+  ``ID`` / ``val`` / ``cont`` stored-attribute annotations of Section 2.2.
+* :mod:`repro.pattern.xpath_parser` -- XPath``{/,//,*,[]}`` with
+  ``and`` / ``or`` filters; used for update targets (Section 2.3) and,
+  in its conjunctive fragment, convertible to tree patterns.
+* :mod:`repro.pattern.xquery` -- the conjunctive XQuery view dialect of
+  Figure 3, translated to annotated tree patterns (after
+  [Arion et al. 2006]).
+* :mod:`repro.pattern.evaluate` -- algebraic evaluation via structural
+  joins over per-node source relations (the form reused verbatim for
+  maintenance term evaluation).
+* :mod:`repro.pattern.embedding` -- the classical embedding-based
+  semantics, used as a correctness oracle.
+"""
+
+from repro.pattern.tree_pattern import Pattern, PatternNode
+from repro.pattern.xpath_parser import (
+    PathExpr,
+    XPathSyntaxError,
+    evaluate_path,
+    parse_xpath,
+    path_to_pattern,
+)
+from repro.pattern.xquery import XQuerySyntaxError, parse_view
+from repro.pattern.evaluate import (
+    evaluate_bindings,
+    evaluate_view,
+    sources_from_document,
+    view_columns,
+)
+from repro.pattern.embedding import evaluate_embeddings
+
+__all__ = [
+    "Pattern",
+    "PatternNode",
+    "PathExpr",
+    "XPathSyntaxError",
+    "XQuerySyntaxError",
+    "evaluate_bindings",
+    "evaluate_embeddings",
+    "evaluate_path",
+    "evaluate_view",
+    "parse_view",
+    "parse_xpath",
+    "path_to_pattern",
+    "sources_from_document",
+    "view_columns",
+]

@@ -1,0 +1,412 @@
+"""The conjunctive XQuery view dialect of Figure 3.
+
+Views are written in the paper's ``let/for/where/return`` fragment::
+
+    let $c := doc("auction.xml") return
+    for $b in $c/site/people/person, $n in $b/name
+    where string($n) = "Martin"
+    return <res><who>{id($b)}</who><name>{string($n)}</name></res>
+
+and are translated into annotated tree patterns (dialect *P*), following
+[Arion et al. 2006]:
+
+* every ``for`` variable contributes the steps of its binding path as
+  pattern nodes; the variable denotes the path's final node;
+* ``where string($x) = "c"`` becomes the value predicate ``[val=c]`` on
+  ``$x``'s node;
+* return items map to stored attributes: ``id($x)`` → ``ID``,
+  ``string($x)`` → ``val``, ``$x`` (or ``$x/p``) → ``cont``; paths in
+  return items add fresh pattern branches;
+* per the requirement of Algorithms 4/6 (PIMT/PDMT), nodes storing
+  ``val`` or ``cont`` also store their ``ID``.
+
+Besides the element-constructor ``return``, a bare comma-separated
+return list (``return $i/name/text(), $i/description``, as the XMark
+queries are written in Appendix A.6) is accepted.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.pattern.tree_pattern import Pattern, PatternNode
+from repro.pattern.xpath_parser import (
+    FilterExpr,
+    PathExpr,
+    XPathSyntaxError,
+    _filter_to_branches,
+    _graft_path,
+    parse_xpath,
+)
+
+
+class XQuerySyntaxError(ValueError):
+    pass
+
+
+class ReturnItem:
+    """One returned information item: node + which attribute + wrapper."""
+
+    __slots__ = ("node_name", "kind", "wrapper")
+
+    def __init__(self, node_name: str, kind: str, wrapper: Optional[str] = None):
+        if kind not in ("ID", "val", "cont"):
+            raise ValueError("return item kind must be ID/val/cont, got %r" % kind)
+        self.node_name = node_name
+        self.kind = kind
+        self.wrapper = wrapper
+
+    def __repr__(self) -> str:
+        return "ReturnItem(%s.%s as <%s>)" % (self.node_name, self.kind, self.wrapper)
+
+
+class ViewDefinition:
+    """A parsed view: its tree pattern plus the return-clause shape."""
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        items: List[ReturnItem],
+        uri: str,
+        result_label: Optional[str],
+        source: str,
+    ):
+        self.pattern = pattern
+        self.items = items
+        self.uri = uri
+        self.result_label = result_label
+        self.source = source
+
+    def __repr__(self) -> str:
+        return "ViewDefinition(%s)" % self.pattern.to_string()
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>"[^"]*"|'[^']*')
+  | (?P<var>\$[A-Za-z_][\w]*)
+  | (?P<assign>:=)
+  | (?P<markup><[^>]*>)
+  | (?P<punct>[(){},=])
+  | (?P<path>[/@*]+[\w./@*\[\]='"\s-]*?(?=\s+(?:where|return|and)\b|,|\{|\}|$))
+  | (?P<word>[\w.-]+(?:\(\))?)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise XQuerySyntaxError("cannot tokenize at %r" % text[pos:pos + 30])
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append((kind, match.group()))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over a lightweight token scan.
+
+    Rather than a full token grammar, the parser carves the query into
+    its clause skeleton with regular expressions (the dialect is
+    line-oriented and conjunctive), then reuses the XPath parser for
+    every embedded path.
+    """
+
+    def __init__(self, text: str):
+        self.text = text.strip()
+
+    def parse(self) -> ViewDefinition:
+        text = self.text
+        uri = "doc.xml"
+        # --- optional let clause -------------------------------------
+        let_match = re.match(
+            r"let\s+(\$[\w]+)\s*:=\s*doc\(\s*[\"']([^\"']*)[\"']\s*\)\s*return\s+",
+            text,
+        )
+        doc_vars: List[str] = []
+        if let_match:
+            doc_vars.append(let_match.group(1))
+            uri = let_match.group(2)
+            text = text[let_match.end():]
+        # --- for clause -----------------------------------------------
+        if not text.startswith("for"):
+            raise XQuerySyntaxError("expected a for clause in %r" % self.text)
+        where_pos = self._clause_position(text, "where")
+        return_pos = self._clause_position(text, "return")
+        if return_pos is None:
+            raise XQuerySyntaxError("missing return clause in %r" % self.text)
+        for_text = text[3:where_pos if where_pos is not None else return_pos]
+        where_text = (
+            text[where_pos + 5:return_pos] if where_pos is not None else None
+        )
+        return_text = text[return_pos + 6:].strip()
+
+        variables: Dict[str, PatternNode] = {}
+        root_holder: List[Pattern] = []
+        root_node: Optional[PatternNode] = None
+
+        for binding in self._split_top_level(for_text, ","):
+            binding = binding.strip()
+            match = re.match(r"(\$[\w]+)\s+in\s+(.*)$", binding, re.DOTALL)
+            if match is None:
+                raise XQuerySyntaxError("bad for binding %r" % binding)
+            var, source = match.group(1), match.group(2).strip()
+            doc_match = re.match(r"doc\(\s*[\"']([^\"']*)[\"']\s*\)(.*)$", source, re.DOTALL)
+            if doc_match:
+                uri = doc_match.group(1)
+                path = parse_xpath(doc_match.group(2).strip())
+                root_node = self._anchor_absolute(path, root_node, variables, var)
+                continue
+            var_match = re.match(r"(\$[\w]+)\s*(.*)$", source, re.DOTALL)
+            if var_match:
+                base_var, rest = var_match.group(1), var_match.group(2).strip()
+                if base_var in doc_vars:
+                    path = parse_xpath(rest)
+                    root_node = self._anchor_absolute(path, root_node, variables, var)
+                    continue
+                if base_var not in variables:
+                    raise XQuerySyntaxError(
+                        "variable %s used before declaration" % base_var
+                    )
+                path = parse_xpath(rest)
+                end = _graft_path(path, variables[base_var], value_pred=None)
+                variables[var] = end
+                continue
+            raise XQuerySyntaxError("bad for source %r" % source)
+
+        if root_node is None:
+            raise XQuerySyntaxError("no absolute variable declared")
+
+        # --- where clause -----------------------------------------------
+        if where_text is not None:
+            for condition in self._split_top_level(where_text, " and "):
+                self._apply_where(condition.strip(), variables)
+
+        # --- return clause -----------------------------------------------
+        items, result_label = self._parse_return(return_text, variables)
+
+        pattern = Pattern(root_node)
+        for node in pattern.nodes():
+            if node.stores_value_or_content:
+                node.store_id = True
+        return ViewDefinition(pattern, items, uri, result_label, self.text)
+
+    # -- clause helpers --------------------------------------------------
+
+    @staticmethod
+    def _clause_position(text: str, keyword: str) -> Optional[int]:
+        """Offset of a top-level clause keyword (not inside quotes/braces)."""
+        depth = 0
+        in_quote: Optional[str] = None
+        for index in range(len(text)):
+            char = text[index]
+            if in_quote is not None:
+                if char == in_quote:
+                    in_quote = None
+                continue
+            if char in "'\"":
+                in_quote = char
+            elif char in "{<":
+                depth += 1
+            elif char in "}>":
+                depth = max(0, depth - 1)
+            elif depth == 0 and text.startswith(keyword, index):
+                before_ok = index == 0 or not text[index - 1].isalnum()
+                after = index + len(keyword)
+                after_ok = after >= len(text) or not text[after].isalnum()
+                if before_ok and after_ok:
+                    return index
+        return None
+
+    @staticmethod
+    def _split_top_level(text: str, separator: str) -> List[str]:
+        parts: List[str] = []
+        depth = 0
+        in_quote: Optional[str] = None
+        start = 0
+        index = 0
+        while index < len(text):
+            char = text[index]
+            if in_quote is not None:
+                if char == in_quote:
+                    in_quote = None
+                index += 1
+                continue
+            if char in "'\"":
+                in_quote = char
+            elif char in "([{":
+                depth += 1
+            elif char in ")]}":
+                depth -= 1
+            elif depth == 0 and text.startswith(separator, index):
+                parts.append(text[start:index])
+                index += len(separator)
+                start = index
+                continue
+            index += 1
+        parts.append(text[start:])
+        return [part for part in parts if part.strip()]
+
+    def _anchor_absolute(
+        self,
+        path: PathExpr,
+        root_node: Optional[PatternNode],
+        variables: Dict[str, PatternNode],
+        var: str,
+    ) -> PatternNode:
+        """Install an absolute variable's path, merging on the root step."""
+        first = path.steps[0]
+        if root_node is None:
+            root_node = PatternNode(first.test, axis=first.axis)
+            for predicate in first.predicates:
+                _filter_to_branches(predicate, root_node)
+        else:
+            if root_node.label != first.test or root_node.axis != first.axis:
+                raise XQuerySyntaxError(
+                    "absolute variables must share their first step "
+                    "(%r vs %r)" % (root_node.label, first.test)
+                )
+            for predicate in first.predicates:
+                _filter_to_branches(predicate, root_node)
+        node = root_node
+        for step in path.steps[1:]:
+            child = PatternNode(step.test, axis=step.axis)
+            node.add_child(child)
+            node = child
+            for predicate in step.predicates:
+                _filter_to_branches(predicate, node)
+        variables[var] = node
+        return root_node
+
+    def _apply_where(self, condition: str, variables: Dict[str, PatternNode]) -> None:
+        # string($x) = "c"
+        match = re.match(
+            r"string\(\s*(\$[\w]+)\s*\)\s*=\s*[\"']([^\"']*)[\"']\s*$", condition
+        )
+        if match:
+            var, constant = match.group(1), match.group(2)
+            self._require(var, variables).value_pred = constant
+            return
+        # $x/path/text() = "c"  or  $x/path = "c"  or  $x = "c"
+        match = re.match(
+            r"(\$[\w]+)\s*(/.*?)?\s*=\s*[\"']([^\"']*)[\"']\s*$", condition, re.DOTALL
+        )
+        if match:
+            var, raw_path, constant = match.groups()
+            node = self._require(var, variables)
+            if raw_path is None or raw_path.strip() in ("", "/text()"):
+                node.value_pred = constant
+                return
+            raw_path = raw_path.strip()
+            if raw_path.endswith("/text()"):
+                raw_path = raw_path[: -len("/text()")]
+            end = _graft_path(parse_xpath(raw_path), node, value_pred=constant)
+            assert end is not None
+            return
+        # bare existence: $x/path  (e.g. "where $b/homepage")
+        match = re.match(r"(\$[\w]+)\s*(/.*)$", condition, re.DOTALL)
+        if match:
+            var, raw_path = match.group(1), match.group(2).strip()
+            _graft_path(parse_xpath(raw_path), self._require(var, variables), None)
+            return
+        raise XQuerySyntaxError("unsupported where condition %r" % condition)
+
+    @staticmethod
+    def _require(var: str, variables: Dict[str, PatternNode]) -> PatternNode:
+        if var not in variables:
+            raise XQuerySyntaxError("unknown variable %s" % var)
+        return variables[var]
+
+    # -- return clause ------------------------------------------------------
+
+    def _parse_return(
+        self, text: str, variables: Dict[str, PatternNode]
+    ) -> Tuple[List[ReturnItem], Optional[str]]:
+        text = text.strip()
+        if text.startswith("<"):
+            return self._parse_constructor(text, variables)
+        items: List[ReturnItem] = []
+        for chunk in self._split_top_level(text, ","):
+            items.append(self._parse_item(chunk.strip(), variables, wrapper=None))
+        return items, None
+
+    def _parse_constructor(
+        self, text: str, variables: Dict[str, PatternNode]
+    ) -> Tuple[List[ReturnItem], Optional[str]]:
+        root_match = re.match(r"<\s*([\w.-]+)\s*>", text)
+        if root_match is None:
+            raise XQuerySyntaxError("bad element constructor %r" % text)
+        result_label = root_match.group(1)
+        items: List[ReturnItem] = []
+        # Find each <li>{ expr }</li> child (or a bare { expr }).
+        for match in re.finditer(
+            r"<\s*([\w.-]+)\s*>\s*\{([^{}]*)\}\s*</\s*\1\s*>|\{([^{}]*)\}", text
+        ):
+            wrapper = match.group(1)
+            expr = match.group(2) if match.group(2) is not None else match.group(3)
+            if wrapper == result_label:
+                wrapper = None
+            items.append(self._parse_item(expr.strip(), variables, wrapper=wrapper))
+        if not items:
+            raise XQuerySyntaxError("return constructor holds no items: %r" % text)
+        return items, result_label
+
+    def _parse_item(
+        self, expr: str, variables: Dict[str, PatternNode], wrapper: Optional[str]
+    ) -> ReturnItem:
+        match = re.match(r"id\(\s*(\$[\w]+)\s*\)$", expr)
+        if match:
+            node = self._require(match.group(1), variables)
+            node.store_id = True
+            return ReturnItem(self._name_later(node), "ID", wrapper)
+        match = re.match(r"string\(\s*(\$[\w]+)\s*\)$", expr)
+        if match:
+            node = self._require(match.group(1), variables)
+            node.store_val = True
+            return ReturnItem(self._name_later(node), "val", wrapper)
+        match = re.match(r"(\$[\w]+)\s*(/.*)?$", expr, re.DOTALL)
+        if match:
+            var, raw_path = match.group(1), match.group(2)
+            node = self._require(var, variables)
+            if raw_path is not None and raw_path.strip():
+                raw_path = raw_path.strip()
+                kind = "cont"
+                if raw_path.endswith("/text()"):
+                    raw_path = raw_path[: -len("/text()")]
+                    kind = "val"
+                if raw_path:
+                    node = _graft_path(parse_xpath(raw_path), node, value_pred=None)
+                if kind == "val":
+                    node.store_val = True
+                else:
+                    node.store_cont = True
+                return ReturnItem(self._name_later(node), kind, wrapper)
+            node.store_cont = True
+            return ReturnItem(self._name_later(node), "cont", wrapper)
+        raise XQuerySyntaxError("unsupported return item %r" % expr)
+
+    @staticmethod
+    def _name_later(node: PatternNode) -> str:
+        # Names are assigned when the Pattern is built; stash the node
+        # object and resolve by identity afterwards.
+        return node  # type: ignore[return-value]
+
+
+def parse_view(text: str) -> ViewDefinition:
+    """Parse a view definition in the Figure 3 dialect."""
+    parser = _Parser(text)
+    definition = parser.parse()
+    # Resolve deferred node references in return items to final names.
+    for item in definition.items:
+        if isinstance(item.node_name, PatternNode):
+            item.node_name = item.node_name.name
+    return definition

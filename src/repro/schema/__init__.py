@@ -1,0 +1,51 @@
+"""DTD-based schema reasoning (Section 3.3).
+
+DTDs are modeled as extended context-free grammars whose right-hand
+sides are regular expressions over element labels (Figure 5).  From a
+DTD we derive constraints over the Δ+ tables ("Δ+_b ≠ ∅ ⇒ Δ+_c ≠ ∅",
+Examples 3.9/3.10) that cheaply reject schema-violating insertions at
+run time, plus a full content-model revalidation of the update targets
+for the precise check.
+"""
+
+from repro.schema.dtd import (
+    DTD,
+    ContentModel,
+    DTDSyntaxError,
+    any_model,
+    choice,
+    empty_model,
+    name,
+    opt,
+    parse_dtd,
+    plus,
+    seq,
+    star,
+    text_model,
+)
+from repro.schema.constraints import (
+    DeltaImplication,
+    check_insert_against_dtd,
+    derive_delta_implications,
+    validate_document,
+)
+
+__all__ = [
+    "DTD",
+    "ContentModel",
+    "DTDSyntaxError",
+    "DeltaImplication",
+    "any_model",
+    "check_insert_against_dtd",
+    "choice",
+    "derive_delta_implications",
+    "empty_model",
+    "name",
+    "opt",
+    "parse_dtd",
+    "plus",
+    "seq",
+    "star",
+    "text_model",
+    "validate_document",
+]

@@ -1,0 +1,169 @@
+"""Statement-level update language (Section 2.3).
+
+Statements carry a *target path* (where the update applies) and, for
+insertions, an XML forest to copy under each target.  The textual forms
+accepted by :func:`parse_update` cover the paper's grammar plus the
+``let $c := doc("uri") for $x in $c/path insert <xml/>`` phrasing used
+throughout Appendix A.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Union
+
+from repro.pattern.xpath_parser import PathExpr, parse_xpath
+from repro.xmldom.model import Node
+from repro.xmldom.parser import parse_fragment
+from repro.xmldom.serializer import serialize_fragment
+
+
+class UpdateStatement:
+    """Base class: a named, targeted statement-level update."""
+
+    kind = "update"
+
+    def __init__(self, target: Union[str, PathExpr], name: Optional[str] = None):
+        self.target: PathExpr = parse_xpath(target) if isinstance(target, str) else target
+        self.name = name or self.kind
+
+    def __repr__(self) -> str:
+        return "%s(%s, target=%r)" % (type(self).__name__, self.name, self.target)
+
+
+class DeleteUpdate(UpdateStatement):
+    """``delete q``: remove every node matched by ``q`` (and subtrees)."""
+
+    kind = "delete"
+
+
+class InsertUpdate(UpdateStatement):
+    """``for $x in q insert xml into $x``: copy a forest under targets."""
+
+    kind = "insert"
+
+    def __init__(
+        self,
+        target: Union[str, PathExpr],
+        fragment: Union[str, List[Node]],
+        name: Optional[str] = None,
+    ):
+        super().__init__(target, name=name)
+        if isinstance(fragment, str):
+            self.forest: List[Node] = parse_fragment(fragment)
+        else:
+            self.forest = list(fragment)
+        if not self.forest:
+            raise ValueError("insert statement with an empty forest")
+
+    def fragment_xml(self) -> str:
+        return "".join(serialize_fragment(tree) for tree in self.forest)
+
+
+class ResolvedDeleteUpdate(DeleteUpdate):
+    """A deletion whose target nodes are already known by ID.
+
+    Produced by the PUL optimizer (reduced atomic operations carry
+    explicit Dewey IDs) and by experiment drivers that pick target sets
+    directly; ``compute_pul`` resolves the IDs instead of evaluating a
+    path.
+    """
+
+    def __init__(self, target_ids, name: Optional[str] = None):
+        self.target_ids = list(target_ids) if isinstance(target_ids, (list, tuple)) else [target_ids]
+        self.name = name or self.kind
+        self.target = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return "ResolvedDeleteUpdate(%d targets)" % len(self.target_ids)
+
+
+class ResolvedInsertUpdate(InsertUpdate):
+    """An insertion whose target nodes are already known by ID."""
+
+    def __init__(self, target_ids, forest: List[Node], name: Optional[str] = None):
+        self.target_ids = list(target_ids) if isinstance(target_ids, (list, tuple)) else [target_ids]
+        self.name = name or self.kind
+        self.target = None  # type: ignore[assignment]
+        self.forest = list(forest)
+        if not self.forest:
+            raise ValueError("insert statement with an empty forest")
+
+    def __repr__(self) -> str:
+        return "ResolvedInsertUpdate(%d targets, %d trees)" % (
+            len(self.target_ids),
+            len(self.forest),
+        )
+
+
+_LET_RE = re.compile(
+    r"^\s*let\s+(\$[\w]+)\s*:?=\s*doc\s*\(\s*[\"']([^\"']*)[\"']\s*\)\s*", re.DOTALL
+)
+_FOR_RE = re.compile(r"^\s*for\s+(\$[\w]+)\s+in\s+(.+?)\s*(?=insert\b|delete\b)", re.DOTALL)
+_INSERT_RE = re.compile(r"^\s*insert\s+(.*?)(?:\s+into\s+(.+?))?\s*$", re.DOTALL)
+_DELETE_RE = re.compile(r"^\s*delete\s+(.+?)\s*$", re.DOTALL)
+
+
+def _strip_doc_var(path_text: str, doc_var: Optional[str]) -> str:
+    path_text = path_text.strip()
+    if doc_var and path_text.startswith(doc_var):
+        path_text = path_text[len(doc_var):].strip()
+    doc_call = re.match(r"doc\s*\(\s*[\"'][^\"']*[\"']\s*\)\s*(.*)$", path_text, re.DOTALL)
+    if doc_call:
+        path_text = doc_call.group(1).strip()
+    return path_text
+
+
+def parse_update(text: str, name: Optional[str] = None) -> UpdateStatement:
+    """Parse a textual update statement.
+
+    Accepted shapes (whitespace-insensitive)::
+
+        delete //a/b
+        insert <x/> into /site/people
+        for $p in /site/people/person insert <name>n</name>
+        let $c := doc("auction.xml")
+        for $p in $c/site/people/person
+        insert <name>n</name>
+        for $p in //person delete $p/name     (sugar: delete //person/name)
+    """
+    remaining = text.strip()
+    doc_var: Optional[str] = None
+    let_match = _LET_RE.match(remaining)
+    if let_match:
+        doc_var = let_match.group(1)
+        remaining = remaining[let_match.end():]
+
+    for_var: Optional[str] = None
+    for_path: Optional[str] = None
+    for_match = _FOR_RE.match(remaining)
+    if for_match:
+        for_var = for_match.group(1)
+        for_path = _strip_doc_var(for_match.group(2), doc_var)
+        remaining = remaining[for_match.end():]
+
+    delete_match = _DELETE_RE.match(remaining)
+    if delete_match:
+        raw_target = delete_match.group(1)
+        target_text = _strip_doc_var(raw_target, doc_var)
+        if for_var is not None and target_text.startswith(for_var):
+            suffix = target_text[len(for_var):].strip()
+            target_text = (for_path or "") + suffix
+        return DeleteUpdate(target_text, name=name)
+
+    insert_match = _INSERT_RE.match(remaining)
+    if insert_match:
+        fragment_text = insert_match.group(1).strip()
+        into_text = insert_match.group(2)
+        if into_text is not None:
+            target_text = _strip_doc_var(into_text, doc_var)
+            if for_var is not None and target_text.startswith(for_var):
+                suffix = target_text[len(for_var):].strip()
+                target_text = (for_path or "") + suffix
+        elif for_path is not None:
+            target_text = for_path
+        else:
+            raise ValueError("insert statement without a target: %r" % text)
+        return InsertUpdate(target_text, fragment_text, name=name)
+
+    raise ValueError("unrecognized update statement: %r" % text)

@@ -1,0 +1,165 @@
+"""Pending update lists: compute-pul and apply (Section 3.4).
+
+``compute-pul(u)`` evaluates the statement's target path -- the *Find
+Target Nodes* phase of the experiments -- and produces atomic
+operations:
+
+* :class:`AtomicInsert` ``(target node, forest)``: each tree of the
+  forest will be copied as new children of the target;
+* :class:`AtomicDelete` ``(node)``: the node (with its subtree) will be
+  removed.
+
+``apply_pul`` performs the document update, returning the *materialized
+effects*: inserted subtree roots carrying their freshly assigned Dewey
+IDs (the paper's ``apply-insert`` helper) or the complete removed node
+sets -- precisely the inputs of CD+ / CD−.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.updates.language import DeleteUpdate, InsertUpdate, UpdateStatement
+from repro.xmldom.model import Document, ElementNode, Node
+
+
+class AtomicInsert:
+    """Insert a forest (copied) after the last child of a target node."""
+
+    __slots__ = ("target", "forest")
+
+    kind = "insert"
+
+    def __init__(self, target: ElementNode, forest: Sequence[Node]):
+        self.target = target
+        self.forest = list(forest)
+
+    def __repr__(self) -> str:
+        return "AtomicInsert(into=%s, %d trees)" % (self.target.id, len(self.forest))
+
+
+class AtomicDelete:
+    """Remove one node and its subtree."""
+
+    __slots__ = ("target",)
+
+    kind = "delete"
+
+    def __init__(self, target: Node):
+        self.target = target
+
+    def __repr__(self) -> str:
+        return "AtomicDelete(%s)" % (self.target.id,)
+
+AtomicOp = Union[AtomicInsert, AtomicDelete]
+
+
+class PendingUpdateList:
+    """An ordered list of atomic operations from one (or more) statements."""
+
+    def __init__(self, operations: Sequence[AtomicOp] = ()):
+        self.operations: List[AtomicOp] = list(operations)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self):
+        return iter(self.operations)
+
+    def inserts(self) -> List[AtomicInsert]:
+        return [op for op in self.operations if isinstance(op, AtomicInsert)]
+
+    def deletes(self) -> List[AtomicDelete]:
+        return [op for op in self.operations if isinstance(op, AtomicDelete)]
+
+    def target_ids(self):
+        return [op.target.id for op in self.operations]
+
+    def __repr__(self) -> str:
+        return "PendingUpdateList(%r)" % (self.operations,)
+
+
+def compute_pul(document: Document, update: UpdateStatement) -> PendingUpdateList:
+    """Evaluate the statement target and build its PUL.
+
+    For insertions this yields one :class:`AtomicInsert` per target node
+    (all carrying the statement's forest); for deletions, one
+    :class:`AtomicDelete` per matched node, skipping nodes whose
+    ancestor is also matched (deleting the ancestor subsumes them).
+    """
+    resolved_ids = getattr(update, "target_ids", None)
+    if resolved_ids is not None:
+        targets = [
+            node
+            for node in (document.node_by_id(t) for t in resolved_ids)
+            if node is not None
+        ]
+    else:
+        targets = update.target.evaluate(document)
+    if isinstance(update, InsertUpdate):
+        operations: List[AtomicOp] = []
+        for node in targets:
+            if not isinstance(node, ElementNode):
+                raise ValueError("insert target %s is not an element" % node.id)
+            operations.append(AtomicInsert(node, update.forest))
+        return PendingUpdateList(operations)
+    if isinstance(update, DeleteUpdate):
+        # Deleting the document root is interpreted as emptying it (the
+        # Fig. 22/23 depth sweep deletes "/site"); the root element must
+        # survive for the document to stay well-formed.
+        expanded: List[Node] = []
+        seen_ids = set()
+        for node in targets:
+            replacements = node.children if node is document.root else [node]
+            for replacement in replacements:
+                if replacement.id not in seen_ids:
+                    seen_ids.add(replacement.id)
+                    expanded.append(replacement)
+        chosen: List[Node] = []
+        matched_ids = {node.id for node in expanded}
+        for node in expanded:
+            if any(ancestor in matched_ids for ancestor in node.id.ancestor_ids()):
+                continue
+            chosen.append(node)
+        return PendingUpdateList([AtomicDelete(node) for node in chosen])
+    raise TypeError("unknown update statement %r" % (update,))
+
+
+class AppliedUpdate:
+    """The outcome of applying a PUL to a document."""
+
+    def __init__(
+        self,
+        inserted_roots: List[Node],
+        removed_nodes: List[Node],
+        apply_seconds: float,
+    ):
+        #: Roots of inserted subtrees, with their new IDs (document order).
+        self.inserted_roots = inserted_roots
+        #: Every removed node, descendants included (document order).
+        self.removed_nodes = removed_nodes
+        self.apply_seconds = apply_seconds
+
+    def __repr__(self) -> str:
+        return "AppliedUpdate(+%d trees, -%d nodes)" % (
+            len(self.inserted_roots),
+            len(self.removed_nodes),
+        )
+
+
+def apply_pul(document: Document, pul: PendingUpdateList) -> AppliedUpdate:
+    """Apply every atomic operation, in order, to the document."""
+    started = time.perf_counter()
+    inserted_roots: List[Node] = []
+    removed_nodes: List[Node] = []
+    for op in pul.operations:
+        if isinstance(op, AtomicInsert):
+            for tree in op.forest:
+                inserted_roots.append(document.insert_subtree(op.target, tree))
+        else:
+            if op.target.parent is None and op.target is not document.root:
+                continue  # already detached by an earlier delete
+            removed_nodes.extend(document.delete_subtree(op.target))
+    elapsed = time.perf_counter() - started
+    return AppliedUpdate(inserted_roots, removed_nodes, elapsed)

@@ -1,0 +1,23 @@
+"""Materialized views, their storage, and the sub-pattern lattice.
+
+* :mod:`repro.views.view` -- view contents as distinct tuples with
+  derivation counts (Section 2.2).
+* :mod:`repro.views.store` -- an ordered tuple store standing in for
+  the BerkeleyDB back-end of the paper's ViP2P platform.
+* :mod:`repro.views.lattice` -- the AND-OR sub-pattern lattice of
+  Section 3.5, snowcap enumeration (Definition 3.11) and the two
+  materialization strategies compared in Section 6.7 (*Snowcaps* vs
+  *Leaves*).
+"""
+
+from repro.views.view import MaterializedView
+from repro.views.store import OrderedTupleStore
+from repro.views.lattice import SnowcapLattice, enumerate_snowcaps, enumerate_subpatterns
+
+__all__ = [
+    "MaterializedView",
+    "OrderedTupleStore",
+    "SnowcapLattice",
+    "enumerate_snowcaps",
+    "enumerate_subpatterns",
+]

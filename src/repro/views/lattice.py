@@ -1,0 +1,244 @@
+"""The sub-pattern lattice and its snowcaps (Section 3.5).
+
+The lattice of a view ``v`` is an AND-OR DAG over the sub-tree patterns
+of ``v``: a pattern-labeled node per connected sub-pattern, an or-node
+above each sub-pattern reachable in several ways, and a join node per
+way of assembling a sub-pattern from two smaller ones (Figure 6).
+
+A **snowcap** (Definition 3.11) is a sub-pattern containing, with every
+node, its parent -- i.e., a prefix-closed subtree hanging from the view
+root ("snow covers mountains from the top downward").  Prop. 3.12 shows
+snowcaps are exactly the R-parts of insertion terms that survive
+update-semantics pruning, hence the only sub-patterns worth
+materializing.
+
+Two materialization strategies are implemented, matching Section 6.7:
+
+* ``"snowcaps"`` -- materialize one snowcap per size (a nested chain,
+  "picking the first at each level" like the paper), plus the leaves
+  which the document's canonical relations already provide;
+* ``"leaves"`` -- materialize nothing; R-parts are recomputed on the
+  fly from canonical relations at maintenance time.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.algebra.relation import Relation
+from repro.pattern.evaluate import Sources, evaluate_bindings
+from repro.pattern.tree_pattern import Pattern
+from repro.xmldom.dewey import DeweyID
+from repro.xmldom.model import Document, Node
+
+NodeSet = FrozenSet[str]
+
+
+def _parent_map(pattern: Pattern) -> Dict[str, Optional[str]]:
+    return {node.name: pattern.parent_of(node.name) for node in pattern.nodes()}
+
+
+def enumerate_snowcaps(pattern: Pattern, include_full: bool = False) -> List[NodeSet]:
+    """All snowcaps of the pattern, smallest first.
+
+    Excludes the full pattern by default (it is the view itself, not an
+    auxiliary structure).
+    """
+    parents = _parent_map(pattern)
+    names = pattern.node_names()
+    out: List[NodeSet] = []
+    for size in range(1, len(names) + (1 if include_full else 0)):
+        for subset in combinations(names, size):
+            chosen = frozenset(subset)
+            if all(parents[name] is None or parents[name] in chosen for name in chosen):
+                out.append(chosen)
+    return out
+
+
+def enumerate_subpatterns(pattern: Pattern) -> List[NodeSet]:
+    """All lattice pattern-nodes: subsets inducing a single sub-tree.
+
+    A subset induces a tree iff exactly one of its members has no
+    proper pattern-ancestor inside the subset (e.g. in Figure 6,
+    ``{b, c}`` is a lattice node but ``{c, d}`` is not).
+    """
+    nodes = pattern.nodes()
+    ancestors: Dict[str, Set[str]] = {}
+    for node in nodes:
+        chain: Set[str] = set()
+        walk = node.parent
+        while walk is not None:
+            chain.add(walk.name)
+            walk = walk.parent
+        ancestors[node.name] = chain
+    names = [node.name for node in nodes]
+    out: List[NodeSet] = []
+    for size in range(1, len(names) + 1):
+        for subset in combinations(names, size):
+            chosen = frozenset(subset)
+            minimal = [name for name in chosen if not (ancestors[name] & chosen)]
+            if len(minimal) != 1:
+                continue
+            out.append(chosen)
+    return out
+
+
+def join_decompositions(pattern: Pattern, subset: NodeSet) -> List[Tuple[NodeSet, NodeSet]]:
+    """Ways of computing a lattice node as a join of two smaller ones.
+
+    Returns pairs ``(upper, lower)`` partitioning ``subset`` such that
+    both parts are lattice nodes and the lower part's root attaches
+    (by the v-ancestor relation) below some node of the upper part --
+    the join edges drawn in Figures 6 and 7.
+    """
+    valid = set(enumerate_subpatterns(pattern))
+    ancestors: Dict[str, Set[str]] = {}
+    for node in pattern.nodes():
+        chain: Set[str] = set()
+        walk = node.parent
+        while walk is not None:
+            chain.add(walk.name)
+            walk = walk.parent
+        ancestors[node.name] = chain
+    out: List[Tuple[NodeSet, NodeSet]] = []
+    members = sorted(subset)
+    for size in range(1, len(members)):
+        for lower_tuple in combinations(members, size):
+            lower = frozenset(lower_tuple)
+            upper = subset - lower
+            if lower not in valid or upper not in valid:
+                continue
+            lower_roots = [name for name in lower if not (ancestors[name] & lower)]
+            root = lower_roots[0]
+            if ancestors[root] & upper:
+                out.append((upper, lower))
+    return out
+
+
+def snowcap_chain(
+    pattern: Pattern, update_profile: Optional[Sequence[str]] = None
+) -> List[NodeSet]:
+    """A nested chain of snowcaps, one per size ``1..k-1``.
+
+    Without a profile the chain is the preorder-prefix chain (the
+    paper's "pick the first snowcap at each level").  With an *update
+    profile* -- labels the workload is expected to insert/delete, the
+    cost-based selection knob discussed at the end of Section 3.5 --
+    the chain is built by peeling current leaves whose label is in the
+    profile first: the resulting chain then contains the complements of
+    the likely Δ-sets, i.e., exactly the R-parts of the union terms the
+    expected updates will evaluate.
+    """
+    names = pattern.node_names()  # preorder: parents precede children
+    if not update_profile:
+        return [frozenset(names[:size]) for size in range(1, len(names))]
+    profile = set(update_profile)
+    children: Dict[str, List[str]] = {name: [] for name in names}
+    for parent, child in pattern.edges():
+        children[parent.name].append(child.name)
+    remaining = set(names)
+
+    def current_leaves() -> List[str]:
+        return [
+            name
+            for name in names
+            if name in remaining
+            and not any(child in remaining for child in children[name])
+        ]
+
+    removal_order: List[str] = []
+    while len(remaining) > 1:
+        leaves = current_leaves()
+        labeled = [
+            name
+            for name in leaves
+            if pattern.node(name).label in profile or "*" in profile
+        ]
+        # Peel profile-labeled leaves first (their subtrees are the
+        # likely Δ-sets), later-preorder leaves first within a class.
+        pick = (labeled or leaves)[-1]
+        removal_order.append(pick)
+        remaining.discard(pick)
+    chain: List[NodeSet] = []
+    kept = set(names)
+    for name in removal_order:
+        kept.discard(name)
+        chain.append(frozenset(kept))
+    chain.sort(key=len)
+    return chain
+
+
+class SnowcapLattice:
+    """Materialized auxiliary structures for one view."""
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        strategy: str = "snowcaps",
+        update_profile: Optional[Sequence[str]] = None,
+    ):
+        if strategy not in ("snowcaps", "leaves"):
+            raise ValueError("strategy must be 'snowcaps' or 'leaves', got %r" % strategy)
+        self.pattern = pattern
+        self.strategy = strategy
+        self.update_profile = list(update_profile) if update_profile else None
+        self.selected: List[NodeSet] = (
+            snowcap_chain(pattern, self.update_profile) if strategy == "snowcaps" else []
+        )
+        self._materialized: Dict[NodeSet, Relation] = {}
+
+    # -- materialization ------------------------------------------------------
+
+    def materialize(self, document: Document) -> None:
+        """Evaluate and store every selected snowcap's binding relation."""
+        self._materialized.clear()
+        for subset in self.selected:
+            sub = self.pattern.subpattern(subset)
+            self._materialized[subset] = evaluate_bindings(sub, document)
+
+    def relation_for(self, subset: NodeSet) -> Optional[Relation]:
+        """The stored binding relation of a snowcap, if materialized."""
+        return self._materialized.get(subset)
+
+    def materialized_sets(self) -> List[NodeSet]:
+        return list(self._materialized)
+
+    def stored_tuples(self) -> int:
+        return sum(len(relation) for relation in self._materialized.values())
+
+    # -- incremental upkeep -----------------------------------------------------
+
+    def apply_insert_additions(self, additions: Dict[NodeSet, Relation]) -> None:
+        """Append freshly derived rows to materialized snowcaps.
+
+        ``additions`` maps snowcap sets to binding relations computed by
+        the term evaluator (Prop. 3.13: each snowcap is maintainable
+        from smaller snowcaps, the leaves and the Δ+ tables).
+        """
+        for subset, extra in additions.items():
+            current = self._materialized.get(subset)
+            if current is None:
+                continue
+            current.extend(extra.reordered(current.schema))
+            current.rows.sort(key=lambda row: tuple(cell.id for cell in row))
+            # Sorting permutes positions only; cached indexes map IDs to
+            # row tuples and were already invalidated by extend().
+
+    def apply_delete(self, deleted_ids: Set[DeweyID]) -> int:
+        """Drop rows binding any deleted node; returns rows removed.
+
+        This is the "searching the lattice for the tuples to be
+        removed" step that makes Update-Lattice costlier for deletions
+        than for insertions (Section 6.2).
+        """
+        removed = 0
+        for subset, relation in self._materialized.items():
+            kept = [
+                row
+                for row in relation.rows
+                if not any(cell.id in deleted_ids for cell in row)
+            ]
+            removed += len(relation.rows) - len(kept)
+            relation.replace_rows(kept)
+        return removed

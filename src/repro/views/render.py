@@ -1,0 +1,69 @@
+"""Render materialized view contents back to XML.
+
+The view language's ``return`` clause (Figure 3) wraps each tuple of
+bindings in a constructed element; a materialized view plus its parsed
+:class:`~repro.pattern.xquery.ViewDefinition` therefore determines an
+XML serialization of the view extent -- the form a client consuming the
+view would actually receive.
+
+IDs render through their compact string form; ``cont`` items are
+spliced in as markup (they are serialized subtrees); ``val`` items are
+escaped text.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.pattern.evaluate import view_columns
+from repro.pattern.xquery import ViewDefinition
+from repro.views.view import MaterializedView
+from repro.xmldom.serializer import escape_text
+
+
+def render_tuple(definition: ViewDefinition, row: tuple) -> str:
+    """One result element for one view tuple."""
+    pattern = definition.pattern
+    columns = view_columns(pattern)
+    index_of = {column: position for position, column in enumerate(columns)}
+    parts: List[str] = []
+    for item in definition.items:
+        column = "%s.%s" % (item.node_name, item.kind)
+        cell = row[index_of[column]]
+        if item.kind == "ID":
+            body = escape_text(str(cell))
+        elif item.kind == "val":
+            body = escape_text(str(cell))
+        else:  # cont: already-serialized markup
+            body = str(cell)
+        if item.wrapper is not None:
+            parts.append("<%s>%s</%s>" % (item.wrapper, body, item.wrapper))
+        else:
+            parts.append(body)
+    label = definition.result_label
+    if label is None:
+        return "".join(parts)
+    return "<%s>%s</%s>" % (label, "".join(parts), label)
+
+
+def render_view(
+    definition: ViewDefinition,
+    view: MaterializedView,
+    root_label: Optional[str] = "results",
+    expand_duplicates: bool = True,
+) -> str:
+    """The whole extent as one XML document string.
+
+    ``expand_duplicates`` repeats a tuple once per derivation (bag
+    semantics, matching what re-running the defining query would
+    print); with ``False`` each distinct tuple appears once.
+    """
+    body: List[str] = []
+    for row, count in view.content():
+        repetitions = count if expand_duplicates else 1
+        rendered = render_tuple(definition, row)
+        body.extend([rendered] * repetitions)
+    inner = "".join(body)
+    if root_label is None:
+        return inner
+    return "<%s>%s</%s>" % (root_label, inner, root_label)

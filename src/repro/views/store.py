@@ -1,0 +1,105 @@
+"""An ordered tuple store (the BerkeleyDB stand-in).
+
+The paper's prototype keeps view data in BerkeleyDB: an ordered
+key/value store scanned in key order and updated in place.  This module
+provides the same contract in pure Python: sorted keys, point get/put/
+delete, range scans and optional file persistence.
+
+View tuples are the keys (they sort by their leading ID columns, i.e.,
+document order), derivation counts are the values.
+"""
+
+from __future__ import annotations
+
+import bisect
+import pickle
+from typing import Any, Iterable, Iterator, List, Optional, Tuple
+
+
+class OrderedTupleStore:
+    """Sorted key/value mapping with range scans.
+
+    Keys must be mutually comparable (view tuples over a fixed schema
+    are).  Complexity: point lookups O(log n), inserts/deletes
+    O(n) worst case (list shift) -- adequate at the scales of the
+    experiments and faithful to a B-tree's interface.
+    """
+
+    def __init__(self) -> None:
+        self._keys: List[Any] = []
+        self._values: List[Any] = []
+
+    # -- point operations ------------------------------------------------
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        index = bisect.bisect_left(self._keys, key)
+        if index < len(self._keys) and self._keys[index] == key:
+            return self._values[index]
+        return default
+
+    def put(self, key: Any, value: Any) -> None:
+        index = bisect.bisect_left(self._keys, key)
+        if index < len(self._keys) and self._keys[index] == key:
+            self._values[index] = value
+        else:
+            self._keys.insert(index, key)
+            self._values.insert(index, value)
+
+    def delete(self, key: Any) -> bool:
+        index = bisect.bisect_left(self._keys, key)
+        if index < len(self._keys) and self._keys[index] == key:
+            self._keys.pop(index)
+            self._values.pop(index)
+            return True
+        return False
+
+    def __contains__(self, key: Any) -> bool:
+        index = bisect.bisect_left(self._keys, key)
+        return index < len(self._keys) and self._keys[index] == key
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    # -- scans ---------------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        return iter(list(zip(self._keys, self._values)))
+
+    def keys(self) -> List[Any]:
+        return list(self._keys)
+
+    def range(self, low: Optional[Any] = None, high: Optional[Any] = None) -> Iterator[Tuple[Any, Any]]:
+        """Items with ``low <= key < high`` (None = unbounded)."""
+        start = 0 if low is None else bisect.bisect_left(self._keys, low)
+        stop = len(self._keys) if high is None else bisect.bisect_left(self._keys, high)
+        for index in range(start, stop):
+            yield self._keys[index], self._values[index]
+
+    def clear(self) -> None:
+        self._keys.clear()
+        self._values.clear()
+
+    # -- bulk / persistence -----------------------------------------------------
+
+    def load_sorted(self, items: Iterable[Tuple[Any, Any]]) -> None:
+        """Bulk-load pre-sorted items (replaces current content)."""
+        self.clear()
+        previous = None
+        for key, value in items:
+            if previous is not None and not previous < key:
+                raise ValueError("load_sorted input is not strictly increasing")
+            self._keys.append(key)
+            self._values.append(value)
+            previous = key
+
+    def dump(self, path: str) -> None:
+        with open(path, "wb") as handle:
+            pickle.dump(list(zip(self._keys, self._values)), handle)
+
+    @classmethod
+    def load(cls, path: str) -> "OrderedTupleStore":
+        store = cls()
+        with open(path, "rb") as handle:
+            items = pickle.load(handle)
+        store.load_sorted(items)
+        return store

@@ -1,0 +1,123 @@
+"""Materialized view contents with derivation counts.
+
+A view tuple is the projection of one or more pattern embeddings onto
+the stored attributes; its *derivation count* (Section 2.2, after
+[Gupta et al. 1993]) is the number of embeddings producing it.
+Counts are what make deletions incremental: a tuple leaves the view
+only when its count reaches zero (Example 4.8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.pattern.evaluate import evaluate_view, view_columns
+from repro.pattern.tree_pattern import Pattern
+from repro.views.store import OrderedTupleStore
+from repro.xmldom.model import Document
+
+ViewTuple = tuple
+
+
+class MaterializedView:
+    """The stored extent of a tree-pattern view."""
+
+    def __init__(self, pattern: Pattern, name: str = "view"):
+        pattern.validate_for_maintenance()
+        self.pattern = pattern
+        self.name = name
+        self.columns: List[str] = view_columns(pattern)
+        self._store = OrderedTupleStore()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def materialize(cls, pattern: Pattern, document: Document, name: str = "view") -> "MaterializedView":
+        """Evaluate the pattern on the document and store the result."""
+        view = cls(pattern, name=name)
+        content = evaluate_view(pattern, document)
+        for row, count in sorted(content, key=lambda item: item[0]):
+            view._store.put(row, count)
+        return view
+
+    # -- reads ----------------------------------------------------------------
+
+    def count(self, row: ViewTuple) -> int:
+        return self._store.get(row, 0)
+
+    def __contains__(self, row: ViewTuple) -> bool:
+        return row in self._store
+
+    def __len__(self) -> int:
+        """Number of distinct tuples."""
+        return len(self._store)
+
+    def total_derivations(self) -> int:
+        return sum(count for _, count in self._store.items())
+
+    def content(self) -> List[Tuple[ViewTuple, int]]:
+        """Distinct tuples with counts, in key (document) order."""
+        return list(self._store.items())
+
+    def rows(self) -> List[ViewTuple]:
+        return self._store.keys()
+
+    # -- writes (used by the maintenance algorithms) -----------------------------
+
+    def add(self, row: ViewTuple, count: int = 1) -> None:
+        """Add ``count`` derivations of ``row`` (insert if absent)."""
+        if count <= 0:
+            raise ValueError("add needs a positive count, got %d" % count)
+        self._store.put(row, self._store.get(row, 0) + count)
+
+    def decrement(self, row: ViewTuple, count: int = 1) -> bool:
+        """Remove ``count`` derivations; drop the tuple at zero.
+
+        Returns True when the tuple left the view.  Decrementing a
+        missing tuple is an error: maintenance must never remove what
+        was never derived.
+        """
+        current = self._store.get(row)
+        if current is None:
+            raise KeyError("tuple %r is not in view %s" % (row, self.name))
+        remaining = current - count
+        if remaining < 0:
+            raise ValueError(
+                "tuple %r has %d derivations, cannot remove %d" % (row, current, count)
+            )
+        if remaining == 0:
+            self._store.delete(row)
+            return True
+        self._store.put(row, remaining)
+        return False
+
+    def remove(self, row: ViewTuple) -> None:
+        """Drop a tuple outright regardless of its count."""
+        if not self._store.delete(row):
+            raise KeyError("tuple %r is not in view %s" % (row, self.name))
+
+    def replace(self, old_row: ViewTuple, new_row: ViewTuple) -> None:
+        """Rewrite a tuple in place (PIMT/PDMT val-cont refresh)."""
+        count = self._store.get(old_row)
+        if count is None:
+            raise KeyError("tuple %r is not in view %s" % (old_row, self.name))
+        self._store.delete(old_row)
+        self._store.put(new_row, self._store.get(new_row, 0) + count)
+
+    # -- verification ----------------------------------------------------------
+
+    def equals_fresh_evaluation(self, document: Document) -> bool:
+        """Does the stored extent match re-evaluation from scratch?"""
+        fresh = sorted(evaluate_view(self.pattern, document), key=lambda item: item[0])
+        return fresh == self.content()
+
+    def diff_against_fresh(self, document: Document) -> Dict[str, List]:
+        """Difference against recomputation, for debugging/tests."""
+        fresh = dict(evaluate_view(self.pattern, document))
+        stored = dict(self.content())
+        missing = [(row, count) for row, count in fresh.items() if stored.get(row) != count]
+        spurious = [(row, count) for row, count in stored.items() if row not in fresh]
+        return {"wrong_or_missing": missing, "spurious": spurious}
+
+    def __repr__(self) -> str:
+        return "MaterializedView(%s, %d tuples)" % (self.name, len(self))

@@ -1,0 +1,296 @@
+"""A deterministic XMark-like document generator.
+
+The paper evaluates on XMark benchmark documents [Schmidt et al. 2002]
+of 100 KB up to 50 MB.  The original ``xmlgen`` binary is unavailable
+offline, so this module synthesizes documents with the same element
+vocabulary and shape -- ``site/people/person``, ``site/open_auctions/
+open_auction/bidder/increase``, ``site/regions/<continent>/item``,
+``site/closed_auctions``, ``site/categories`` -- which is all the
+views (Appendix A.6) and updates (Appendix A.1-A.5) touch.
+
+The generator is seeded and fully deterministic: the same scale always
+yields byte-identical documents, so experiments are reproducible.
+Element frequencies (optional phone/homepage/profile..., bidder counts,
+"4.50" increases, references to ``person12``) are tuned so that every
+view in the test set is non-empty and every update affects at least one
+view, as the paper arranged.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.xmldom.model import AttributeNode, Document, ElementNode, TextNode, build_document
+from repro.xmldom.serializer import serialize
+
+REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+_FIRST_NAMES = (
+    "Martin", "Angela", "Ioana", "Domenica", "Jim", "Mimma", "Ann", "Bob",
+    "Carla", "Deepak", "Elena", "Farid", "Grace", "Hugo", "Irene", "Jorge",
+)
+_LAST_NAMES = (
+    "Goodfellow", "Bonifati", "Manolescu", "Sileo", "Smith", "Rossi",
+    "Nakamura", "Garcia", "Dubois", "Olsen", "Kovacs", "Silva",
+)
+_WORDS = (
+    "auction", "vintage", "rare", "boxed", "mint", "classic", "signed",
+    "limited", "edition", "antique", "restored", "original", "collector",
+    "pristine", "bundle", "lot", "estate", "imported", "handmade", "sealed",
+)
+_CITIES = ("Lille", "Glasgow", "Paris", "Potenza", "Boston", "Kyoto", "Lima")
+_PAYMENTS = ("Creditcard", "Personal Check", "Cash", "Money order")
+_EDUCATIONS = ("High School", "College", "Graduate School", "Other")
+_INCREASES = ("1.50", "3.00", "4.50", "6.00", "7.50", "9.00", "12.00", "15.00")
+
+
+def _element(label: str, *children, text: Optional[str] = None) -> ElementNode:
+    node = ElementNode(label)
+    if text is not None:
+        node.append(TextNode(text))
+    for child in children:
+        node.append(child)
+    return node
+
+
+def _attr(name: str, value: str) -> AttributeNode:
+    return AttributeNode(name, value)
+
+
+class _Generator:
+    def __init__(self, scale: int, seed: int):
+        self.rng = random.Random(seed)
+        self.scale = scale
+        self.person_count = max(4, 25 * scale)
+        self.item_count = max(6, 24 * scale)
+        self.open_auction_count = max(3, 12 * scale)
+        self.closed_auction_count = max(2, 6 * scale)
+        self.category_count = max(2, 4 * scale)
+
+    # -- vocabulary helpers -----------------------------------------------
+
+    def words(self, low: int, high: int) -> str:
+        count = self.rng.randint(low, high)
+        return " ".join(self.rng.choice(_WORDS) for _ in range(count))
+
+    def person_ref(self) -> str:
+        # Bias towards person12 so Q4's predicate selects something.
+        if self.person_count > 12 and self.rng.random() < 0.15:
+            return "person12"
+        return "person%d" % self.rng.randrange(self.person_count)
+
+    # -- site sections --------------------------------------------------------
+
+    def person(self, index: int) -> ElementNode:
+        rng = self.rng
+        person = _element("person")
+        person.append(_attr("id", "person%d" % index))
+        full_name = "%s %s" % (rng.choice(_FIRST_NAMES), rng.choice(_LAST_NAMES))
+        person.append(_element("name", text=full_name))
+        person.append(
+            _element("emailaddress", text="mailto:%s@example.org" % full_name.split()[0].lower())
+        )
+        if rng.random() < 0.55:
+            person.append(_element("phone", text="+39 %07d" % rng.randrange(10**7)))
+        if rng.random() < 0.45:
+            person.append(
+                _element(
+                    "address",
+                    _element("street", text="%d %s St" % (rng.randrange(99) + 1, rng.choice(_WORDS))),
+                    _element("city", text=rng.choice(_CITIES)),
+                    _element("country", text="United States"),
+                    _element("zipcode", text=str(rng.randrange(10000, 99999))),
+                )
+            )
+        if rng.random() < 0.35:
+            person.append(
+                _element("homepage", text="http://www.example.org/~%s" % full_name.split()[0].lower())
+            )
+        if rng.random() < 0.3:
+            person.append(_element("creditcard", text="%04d %04d %04d %04d" % tuple(rng.randrange(10000) for _ in range(4))))
+        if rng.random() < 0.5:
+            profile = _element("profile")
+            profile.append(_attr("income", "%.2f" % (rng.random() * 90000 + 10000)))
+            for _ in range(rng.randint(0, 3)):
+                interest = _element("interest")
+                interest.append(_attr("category", "category%d" % rng.randrange(self.category_count)))
+                profile.append(interest)
+            if rng.random() < 0.7:
+                profile.append(_element("education", text=rng.choice(_EDUCATIONS)))
+            if rng.random() < 0.8:
+                profile.append(_element("gender", text=rng.choice(("male", "female"))))
+            profile.append(_element("business", text=rng.choice(("Yes", "No"))))
+            if rng.random() < 0.6:
+                profile.append(_element("age", text=str(rng.randrange(18, 80))))
+            person.append(profile)
+        if rng.random() < 0.4:
+            watches = _element("watches")
+            for _ in range(rng.randint(1, 3)):
+                watch = _element("watch")
+                watch.append(_attr("open_auction", "open_auction%d" % rng.randrange(self.open_auction_count)))
+                watches.append(watch)
+            person.append(watches)
+        return person
+
+    def item(self, index: int, region: str) -> ElementNode:
+        rng = self.rng
+        item = _element("item")
+        item.append(_attr("id", "item%d" % index))
+        if rng.random() < 0.1:
+            item.append(_attr("featured", "yes"))
+        item.append(_element("location", text=rng.choice(("United States", "France", "Italy", "Japan", "Peru"))))
+        item.append(_element("quantity", text=str(rng.randint(1, 5))))
+        if rng.random() < 0.9:
+            item.append(_element("name", text=self.words(2, 4)))
+        item.append(_element("payment", text=", ".join(rng.sample(_PAYMENTS, rng.randint(1, 3)))))
+        if rng.random() < 0.85:
+            item.append(
+                _element(
+                    "description",
+                    _element("text", text=self.words(6, 18)),
+                )
+            )
+        item.append(_element("shipping", text="Will ship internationally"))
+        for _ in range(rng.randint(1, 2)):
+            incategory = _element("incategory")
+            incategory.append(_attr("category", "category%d" % rng.randrange(self.category_count)))
+            item.append(incategory)
+        if rng.random() < 0.5:
+            mailbox = _element("mailbox")
+            for _ in range(rng.randint(1, 2)):
+                mailbox.append(
+                    _element(
+                        "mail",
+                        _element("from", text=rng.choice(_FIRST_NAMES)),
+                        _element("to", text=rng.choice(_FIRST_NAMES)),
+                        _element("date", text="%02d/%02d/2001" % (rng.randint(1, 12), rng.randint(1, 28))),
+                        _element("text", text=self.words(4, 10)),
+                    )
+                )
+            item.append(mailbox)
+        return item
+
+    def open_auction(self, index: int) -> ElementNode:
+        rng = self.rng
+        auction = _element("open_auction")
+        auction.append(_attr("id", "open_auction%d" % index))
+        auction.append(_element("initial", text="%.2f" % (rng.random() * 200)))
+        if rng.random() < 0.45:
+            auction.append(_element("reserve", text="%.2f" % (rng.random() * 400)))
+        for _ in range(rng.randint(0, 4)):
+            bidder = _element(
+                "bidder",
+                _element("date", text="%02d/%02d/2001" % (rng.randint(1, 12), rng.randint(1, 28))),
+                _element("time", text="%02d:%02d:%02d" % (rng.randint(0, 23), rng.randint(0, 59), rng.randint(0, 59))),
+            )
+            personref = _element("personref")
+            personref.append(_attr("person", self.person_ref()))
+            bidder.append(personref)
+            bidder.append(_element("increase", text=rng.choice(_INCREASES)))
+            auction.append(bidder)
+        auction.append(_element("current", text="%.2f" % (rng.random() * 500)))
+        if rng.random() < 0.35:
+            auction.append(_element("privacy", text="Yes"))
+        itemref = _element("itemref")
+        itemref.append(_attr("item", "item%d" % rng.randrange(self.item_count)))
+        auction.append(itemref)
+        seller = _element("seller")
+        seller.append(_attr("person", self.person_ref()))
+        auction.append(seller)
+        auction.append(_element("annotation", _element("description", _element("text", text=self.words(4, 12)))))
+        auction.append(_element("quantity", text="1"))
+        auction.append(_element("type", text=rng.choice(("Regular", "Featured"))))
+        auction.append(
+            _element(
+                "interval",
+                _element("start", text="%02d/%02d/2001" % (rng.randint(1, 6), rng.randint(1, 28))),
+                _element("end", text="%02d/%02d/2001" % (rng.randint(7, 12), rng.randint(1, 28))),
+            )
+        )
+        return auction
+
+    def closed_auction(self, index: int) -> ElementNode:
+        rng = self.rng
+        auction = _element("closed_auction")
+        seller = _element("seller")
+        seller.append(_attr("person", self.person_ref()))
+        buyer = _element("buyer")
+        buyer.append(_attr("person", self.person_ref()))
+        itemref = _element("itemref")
+        itemref.append(_attr("item", "item%d" % rng.randrange(self.item_count)))
+        auction.append(seller)
+        auction.append(buyer)
+        auction.append(itemref)
+        auction.append(_element("price", text="%.2f" % (rng.random() * 300)))
+        auction.append(_element("date", text="%02d/%02d/2001" % (rng.randint(1, 12), rng.randint(1, 28))))
+        auction.append(_element("quantity", text="1"))
+        auction.append(_element("type", text=rng.choice(("Regular", "Featured"))))
+        auction.append(_element("annotation", _element("description", _element("text", text=self.words(3, 8)))))
+        return auction
+
+    def build(self) -> ElementNode:
+        site = _element("site")
+        regions = _element("regions")
+        region_elements = {region: _element(region) for region in REGIONS}
+        for index in range(self.item_count):
+            # namerica gets a double share so Q13 has matter to chew on.
+            weights = [1, 1, 1, 1, 2, 1]
+            region = self.rng.choices(REGIONS, weights=weights)[0]
+            region_elements[region].append(self.item(index, region))
+        for region in REGIONS:
+            regions.append(region_elements[region])
+        site.append(regions)
+
+        categories = _element("categories")
+        for index in range(self.category_count):
+            category = _element("category")
+            category.append(_attr("id", "category%d" % index))
+            category.append(_element("name", text=self.words(1, 2)))
+            category.append(_element("description", _element("text", text=self.words(3, 8))))
+            categories.append(category)
+        site.append(categories)
+
+        catgraph = _element("catgraph")
+        for _ in range(self.category_count):
+            edge = _element("edge")
+            edge.append(_attr("from", "category%d" % self.rng.randrange(self.category_count)))
+            edge.append(_attr("to", "category%d" % self.rng.randrange(self.category_count)))
+            catgraph.append(edge)
+        site.append(catgraph)
+
+        people = _element("people")
+        for index in range(self.person_count):
+            people.append(self.person(index))
+        site.append(people)
+
+        open_auctions = _element("open_auctions")
+        for index in range(self.open_auction_count):
+            open_auctions.append(self.open_auction(index))
+        site.append(open_auctions)
+
+        closed_auctions = _element("closed_auctions")
+        for index in range(self.closed_auction_count):
+            closed_auctions.append(self.closed_auction(index))
+        site.append(closed_auctions)
+        return site
+
+
+def generate_document(scale: int = 1, seed: int = 20110322, uri: str = "auction.xml") -> Document:
+    """Generate an XMark-like document.
+
+    ``scale=1`` is roughly 100 KB serialized; size grows linearly (the
+    paper's 100 KB / 10 MB settings correspond to scales 1 and ~100).
+    """
+    generator = _Generator(scale, seed)
+    return build_document(generator.build(), uri=uri)
+
+
+def generate_xml(scale: int = 1, seed: int = 20110322) -> str:
+    """The serialized form of :func:`generate_document`."""
+    return serialize(generate_document(scale, seed))
+
+
+def size_of(document: Document) -> int:
+    """Serialized size in bytes (the paper reports document sizes so)."""
+    return len(serialize(document).encode("utf-8"))

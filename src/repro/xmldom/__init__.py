@@ -1,0 +1,54 @@
+"""XML substrate: documents, nodes and Compact Dynamic Dewey identifiers.
+
+This package implements everything the paper assumes from the underlying
+XML store:
+
+* :mod:`repro.xmldom.dewey` -- Compact Dynamic Dewey IDs [Xu et al. 2009]:
+  structural identifiers that encode, for every node, the labels and
+  relative positions of all its ancestors, support parent/ancestor tests
+  by pure ID comparison, and never require relabeling under updates.
+* :mod:`repro.xmldom.model` -- ordered labeled trees (element, attribute
+  and text nodes), documents with per-label *canonical relations*.
+* :mod:`repro.xmldom.parser` -- a small recursive-descent XML parser for
+  the XML subset used throughout the paper's workloads.
+* :mod:`repro.xmldom.serializer` -- the inverse of the parser.
+"""
+
+from repro.xmldom.dewey import (
+    DeweyID,
+    Ordinal,
+    ordinal_after,
+    ordinal_before,
+    ordinal_between,
+    ordinal_initial,
+)
+from repro.xmldom.model import (
+    AttributeNode,
+    Document,
+    ElementNode,
+    Node,
+    TextNode,
+    build_document,
+)
+from repro.xmldom.parser import XMLSyntaxError, parse_document, parse_fragment
+from repro.xmldom.serializer import serialize, serialize_fragment
+
+__all__ = [
+    "AttributeNode",
+    "DeweyID",
+    "Document",
+    "ElementNode",
+    "Node",
+    "Ordinal",
+    "TextNode",
+    "XMLSyntaxError",
+    "build_document",
+    "ordinal_after",
+    "ordinal_before",
+    "ordinal_between",
+    "ordinal_initial",
+    "parse_document",
+    "parse_fragment",
+    "serialize",
+    "serialize_fragment",
+]

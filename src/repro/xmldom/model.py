@@ -1,0 +1,397 @@
+"""Ordered labeled trees and documents (Section 2.1 of the paper).
+
+Documents are ordered trees of element, attribute and text nodes.
+Element and attribute nodes carry a label; text nodes carry a string
+value.  Every node owns a :class:`~repro.xmldom.dewey.DeweyID`.
+
+A :class:`Document` additionally maintains, for every label ``a``, the
+paper's *virtual canonical relation* ``R_a``: the document-ordered list
+of ``a``-labeled nodes, from which ``(ID, val, cont)`` tuples are drawn
+by the algebra layer.  The index is kept consistent under subtree
+insertion and deletion.
+
+Conventions:
+
+* attribute nodes are modeled as children with label ``@name`` (so tree
+  patterns can match them uniformly, as in ``person[@id]``);
+* ``val`` of an element is the concatenation of its text descendants in
+  document order (XPath string value); ``val`` of an attribute or text
+  node is its own string;
+* ``cont`` is the serialized XML image of the subtree.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.xmldom.dewey import (
+    DeweyID,
+    Ordinal,
+    ordinal_after,
+    ordinal_before,
+    ordinal_between,
+    ordinal_initial,
+)
+
+TEXT_LABEL = "#text"
+
+
+class Node:
+    """Common behaviour of element, attribute and text nodes."""
+
+    __slots__ = ("label", "parent", "dewey")
+
+    kind = "node"
+
+    def __init__(self, label: str):
+        self.label = label
+        self.parent: Optional["ElementNode"] = None
+        self.dewey: Optional[DeweyID] = None
+
+    # -- tree navigation ------------------------------------------------
+
+    def ancestors(self) -> Iterator["ElementNode"]:
+        """Proper ancestors, innermost first."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def self_and_descendants(self) -> Iterator["Node"]:
+        yield self
+
+    def descendants(self) -> Iterator["Node"]:
+        return iter(())
+
+    # -- stored attributes (ID / val / cont) ----------------------------
+
+    @property
+    def id(self) -> DeweyID:
+        if self.dewey is None:
+            raise ValueError("node %r is not part of a document yet" % (self.label,))
+        return self.dewey
+
+    @property
+    def val(self) -> str:
+        raise NotImplementedError
+
+    @property
+    def cont(self) -> str:
+        from repro.xmldom.serializer import serialize_fragment
+
+        return serialize_fragment(self)
+
+    def __repr__(self) -> str:
+        ident = str(self.dewey) if self.dewey is not None else "<detached>"
+        return "%s(%s)" % (type(self).__name__, ident)
+
+
+class TextNode(Node):
+    """A text node; its ``val`` is its character data."""
+
+    __slots__ = ("text",)
+
+    kind = "text"
+
+    def __init__(self, text: str):
+        super().__init__(TEXT_LABEL)
+        self.text = text
+
+    @property
+    def val(self) -> str:
+        return self.text
+
+
+class AttributeNode(Node):
+    """An attribute, modeled as a labeled child node ``@name``."""
+
+    __slots__ = ("value",)
+
+    kind = "attribute"
+
+    def __init__(self, name: str, value: str):
+        label = name if name.startswith("@") else "@" + name
+        super().__init__(label)
+        self.value = value
+
+    @property
+    def name(self) -> str:
+        return self.label[1:]
+
+    @property
+    def val(self) -> str:
+        return self.value
+
+
+class ElementNode(Node):
+    """An element with an ordered child list (attributes come first)."""
+
+    __slots__ = ("children",)
+
+    kind = "element"
+
+    def __init__(self, label: str, children: Sequence[Node] = ()):
+        super().__init__(label)
+        self.children: List[Node] = []
+        for child in children:
+            self.append(child)
+
+    # -- construction ----------------------------------------------------
+
+    def append(self, child: Node) -> Node:
+        """Attach ``child`` as the last child (no ID assignment)."""
+        if child.parent is not None:
+            raise ValueError("node %r already has a parent" % (child.label,))
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def set_attribute(self, name: str, value: str) -> AttributeNode:
+        attr = AttributeNode(name, value)
+        # Attributes conventionally precede other children.
+        attr.parent = self
+        index = 0
+        while index < len(self.children) and self.children[index].kind == "attribute":
+            index += 1
+        self.children.insert(index, attr)
+        return attr
+
+    # -- navigation -------------------------------------------------------
+
+    def self_and_descendants(self) -> Iterator[Node]:
+        stack: List[Node] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, ElementNode):
+                stack.extend(reversed(node.children))
+
+    def descendants(self) -> Iterator[Node]:
+        nodes = self.self_and_descendants()
+        next(nodes)
+        return nodes
+
+    def child_elements(self) -> Iterator["ElementNode"]:
+        return (child for child in self.children if isinstance(child, ElementNode))
+
+    def attribute(self, name: str) -> Optional[AttributeNode]:
+        label = name if name.startswith("@") else "@" + name
+        for child in self.children:
+            if child.kind == "attribute" and child.label == label:
+                return child  # type: ignore[return-value]
+        return None
+
+    @property
+    def val(self) -> str:
+        """XPath string value: concatenated text descendants in order."""
+        parts: List[str] = []
+        self._collect_text(parts)
+        return "".join(parts)
+
+    def _collect_text(self, parts: List[str]) -> None:
+        for child in self.children:
+            if child.kind == "text":
+                parts.append(child.val)
+            elif isinstance(child, ElementNode):
+                child._collect_text(parts)
+
+
+def deep_copy(node: Node) -> Node:
+    """Structural copy of a subtree, detached (no parent, no IDs)."""
+    if isinstance(node, TextNode):
+        return TextNode(node.text)
+    if isinstance(node, AttributeNode):
+        return AttributeNode(node.name, node.value)
+    assert isinstance(node, ElementNode)
+    clone = ElementNode(node.label)
+    for child in node.children:
+        clone.append(deep_copy(child))
+    return clone
+
+
+class _LabelIndex:
+    """Per-label canonical relation ``R_a``: document-ordered node lists."""
+
+    def __init__(self) -> None:
+        self._by_label: Dict[str, List[Node]] = {}
+
+    def labels(self) -> Iterator[str]:
+        return iter(self._by_label)
+
+    def nodes(self, label: str) -> List[Node]:
+        return self._by_label.get(label, [])
+
+    def add(self, node: Node) -> None:
+        row = self._by_label.setdefault(node.label, [])
+        keys = [n.id for n in row]
+        position = bisect.bisect(keys, node.id)
+        row.insert(position, node)
+
+    def add_bulk(self, nodes: Sequence[Node]) -> None:
+        for node in nodes:
+            self._by_label.setdefault(node.label, []).append(node)
+        for row in self._by_label.values():
+            row.sort(key=lambda n: n.id)
+
+    def remove(self, node: Node) -> None:
+        row = self._by_label.get(node.label)
+        if not row:
+            return
+        keys = [n.id for n in row]
+        position = bisect.bisect_left(keys, node.id)
+        if position < len(row) and row[position] is node:
+            row.pop(position)
+
+    def copy_label(self, label: str) -> List[Node]:
+        return list(self._by_label.get(label, []))
+
+
+class Document:
+    """A rooted XML document with structural IDs and canonical relations."""
+
+    def __init__(self, root: ElementNode, uri: str = "doc.xml"):
+        self.uri = uri
+        self.root = root
+        self._index = _LabelIndex()
+        self._by_id: Dict[DeweyID, Node] = {}
+        # IDs of deleted nodes are *retired*, never reissued: node
+        # identity is immutable (XDM) and the Dewey scheme guarantees
+        # a dead ID stays dead, so references held by pending update
+        # lists or optimizers can never silently re-bind.
+        self._retired_ids: set = set()
+        self._assign_ids()
+
+    # -- bulk loading ------------------------------------------------------
+
+    def _assign_ids(self) -> None:
+        self.root.dewey = DeweyID.root(self.root.label)
+        stack: List[ElementNode] = [self.root]
+        all_nodes: List[Node] = [self.root]
+        while stack:
+            element = stack.pop()
+            for position, child in enumerate(element.children, start=1):
+                child.dewey = element.id.child(child.label, ordinal_initial(position))
+                all_nodes.append(child)
+                if isinstance(child, ElementNode):
+                    stack.append(child)
+        self._index.add_bulk(all_nodes)
+        for node in all_nodes:
+            self._by_id[node.id] = node
+
+    # -- canonical relations -------------------------------------------------
+
+    def labels(self) -> Iterator[str]:
+        """All labels with at least one node in the document."""
+        return self._index.labels()
+
+    def nodes_with_label(self, label: str) -> List[Node]:
+        """The canonical relation ``R_label`` (document-ordered, live view)."""
+        return self._index.nodes(label)
+
+    def snapshot_label(self, label: str) -> List[Node]:
+        """A copy of ``R_label``, immune to subsequent updates."""
+        return self._index.copy_label(label)
+
+    def all_elements(self) -> Iterator[ElementNode]:
+        for node in self.root.self_and_descendants():
+            if isinstance(node, ElementNode):
+                yield node
+
+    def node_by_id(self, dewey: DeweyID) -> Optional[Node]:
+        """Resolve an ID to its node (None if absent)."""
+        return self._by_id.get(dewey)
+
+    def size_in_nodes(self) -> int:
+        return sum(len(self._index.nodes(label)) for label in self._index.labels())
+
+    # -- updates (used by repro.updates.pul) ---------------------------------
+
+    def _sibling_ordinal(self, parent: ElementNode, position: int) -> Ordinal:
+        """A fresh ordinal for a child inserted at ``position``."""
+        siblings = parent.children
+        left = siblings[position - 1].id.ordinal if position > 0 else None
+        right = siblings[position].id.ordinal if position < len(siblings) else None
+        if left is None and right is None:
+            return ordinal_initial(1)
+        if left is None:
+            assert right is not None
+            return ordinal_before(right)
+        if right is None:
+            return ordinal_after(left)
+        return ordinal_between(left, right)
+
+    def insert_subtree(
+        self,
+        parent: ElementNode,
+        subtree: Node,
+        position: Optional[int] = None,
+    ) -> Node:
+        """Copy ``subtree`` as a new child of ``parent`` and index it.
+
+        Implements the paper's *apply-insert(n, t)* helper: the returned
+        tree is a fresh copy whose nodes carry the Dewey IDs assigned in
+        their new context.  ``position`` defaults to "after the last
+        child" (the XQuery Update ``insert into`` semantics used by the
+        paper's ``ins↘`` operation).
+        """
+        if position is None:
+            position = len(parent.children)
+        clone = deep_copy(subtree)
+        ordinal = self._sibling_ordinal(parent, position)
+        # Never reissue a retired ID: nudge the ordinal upward (staying
+        # below the right sibling, if any) until the ID is fresh.
+        right = (
+            parent.children[position].id.ordinal
+            if position < len(parent.children)
+            else None
+        )
+        while parent.id.child(clone.label, ordinal) in self._retired_ids:
+            if right is None:
+                ordinal = ordinal_after(ordinal)
+            else:
+                ordinal = ordinal_between(ordinal, right)
+        clone.parent = parent
+        parent.children.insert(position, clone)
+        clone.dewey = parent.id.child(clone.label, ordinal)
+        new_nodes: List[Node] = [clone]
+        if isinstance(clone, ElementNode):
+            stack = [clone]
+            while stack:
+                element = stack.pop()
+                for child_position, child in enumerate(element.children, start=1):
+                    child.dewey = element.id.child(child.label, ordinal_initial(child_position))
+                    new_nodes.append(child)
+                    if isinstance(child, ElementNode):
+                        stack.append(child)
+        for node in new_nodes:
+            self._index.add(node)
+            self._by_id[node.id] = node
+        return clone
+
+    def delete_subtree(self, node: Node) -> List[Node]:
+        """Remove ``node`` and its subtree; returns the removed nodes.
+
+        Per XQuery Update semantics, deleting a node removes all its
+        descendants as well; the returned list (document order) is what
+        CD− turns into Δ− tables.
+        """
+        if node.parent is None:
+            raise ValueError("cannot delete the document root")
+        removed = list(node.self_and_descendants())
+        removed.sort(key=lambda n: n.id)
+        for gone in removed:
+            self._index.remove(gone)
+            self._by_id.pop(gone.id, None)
+            self._retired_ids.add(gone.id)
+        node.parent.children.remove(node)
+        node.parent = None
+        return removed
+
+    def __repr__(self) -> str:
+        return "Document(uri=%r, root=%r)" % (self.uri, self.root.label)
+
+
+def build_document(root: ElementNode, uri: str = "doc.xml") -> Document:
+    """Wrap a detached element tree into a document, assigning IDs."""
+    return Document(root, uri=uri)

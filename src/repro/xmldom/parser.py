@@ -1,0 +1,257 @@
+"""A small recursive-descent XML parser.
+
+Covers the XML subset appearing in the paper's workloads (XMark-style
+documents and the update snippets of Appendix A): elements, attributes,
+character data, the five predefined entities, numeric character
+references, comments, processing instructions and a prolog/DOCTYPE to
+skip.  CDATA sections are supported for completeness.
+
+Namespaces are treated as plain label prefixes (XMark does not use
+them), and DTD internal subsets are skipped, not interpreted -- schema
+reasoning lives in :mod:`repro.schema`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.xmldom.model import (
+    AttributeNode,
+    Document,
+    ElementNode,
+    Node,
+    TextNode,
+    build_document,
+)
+
+_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "quot": '"',
+    "apos": "'",
+}
+
+_NAME_EXTRA = set("-._:")
+
+
+class XMLSyntaxError(ValueError):
+    """Raised on malformed input, with a character offset."""
+
+    def __init__(self, message: str, offset: int):
+        super().__init__("%s (at offset %d)" % (message, offset))
+        self.offset = offset
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    # -- low-level helpers -------------------------------------------------
+
+    def error(self, message: str) -> XMLSyntaxError:
+        return XMLSyntaxError(message, self.pos)
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < self.length else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def expect(self, token: str) -> None:
+        if not self.startswith(token):
+            raise self.error("expected %r" % token)
+        self.pos += len(token)
+
+    def skip_whitespace(self) -> None:
+        while self.pos < self.length and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def read_name(self) -> str:
+        start = self.pos
+        while self.pos < self.length:
+            char = self.text[self.pos]
+            if char.isalnum() or char in _NAME_EXTRA:
+                self.pos += 1
+            else:
+                break
+        if self.pos == start:
+            raise self.error("expected a name")
+        return self.text[start:self.pos]
+
+    def decode_entities(self, raw: str) -> str:
+        if "&" not in raw:
+            return raw
+        out: List[str] = []
+        index = 0
+        while index < len(raw):
+            char = raw[index]
+            if char != "&":
+                out.append(char)
+                index += 1
+                continue
+            end = raw.find(";", index)
+            if end == -1:
+                raise self.error("unterminated entity reference")
+            name = raw[index + 1:end]
+            if name.startswith("#x") or name.startswith("#X"):
+                out.append(chr(int(name[2:], 16)))
+            elif name.startswith("#"):
+                out.append(chr(int(name[1:])))
+            elif name in _ENTITIES:
+                out.append(_ENTITIES[name])
+            else:
+                raise self.error("unknown entity &%s;" % name)
+            index = end + 1
+        return "".join(out)
+
+    # -- grammar -------------------------------------------------------------
+
+    def skip_misc(self) -> None:
+        """Skip whitespace, comments, PIs, prolog and DOCTYPE."""
+        while True:
+            self.skip_whitespace()
+            if self.startswith("<!--"):
+                end = self.text.find("-->", self.pos + 4)
+                if end == -1:
+                    raise self.error("unterminated comment")
+                self.pos = end + 3
+            elif self.startswith("<?"):
+                end = self.text.find("?>", self.pos + 2)
+                if end == -1:
+                    raise self.error("unterminated processing instruction")
+                self.pos = end + 2
+            elif self.startswith("<!DOCTYPE"):
+                self._skip_doctype()
+            else:
+                return
+
+    def _skip_doctype(self) -> None:
+        depth = 0
+        while self.pos < self.length:
+            char = self.text[self.pos]
+            self.pos += 1
+            if char == "[":
+                depth += 1
+            elif char == "]":
+                depth -= 1
+            elif char == ">" and depth <= 0:
+                return
+        raise self.error("unterminated DOCTYPE")
+
+    def parse_attributes(self) -> List[Tuple[str, str]]:
+        attributes: List[Tuple[str, str]] = []
+        while True:
+            self.skip_whitespace()
+            char = self.peek()
+            if char in (">", "/", ""):
+                return attributes
+            name = self.read_name()
+            self.skip_whitespace()
+            self.expect("=")
+            self.skip_whitespace()
+            quote = self.peek()
+            if quote not in ("'", '"'):
+                raise self.error("attribute value must be quoted")
+            self.pos += 1
+            end = self.text.find(quote, self.pos)
+            if end == -1:
+                raise self.error("unterminated attribute value")
+            value = self.decode_entities(self.text[self.pos:end])
+            self.pos = end + 1
+            attributes.append((name, value))
+
+    def parse_element(self) -> ElementNode:
+        self.expect("<")
+        label = self.read_name()
+        element = ElementNode(label)
+        for name, value in self.parse_attributes():
+            element.append(AttributeNode(name, value))
+        self.skip_whitespace()
+        if self.startswith("/>"):
+            self.pos += 2
+            return element
+        self.expect(">")
+        self.parse_content(element)
+        self.expect("</")
+        closing = self.read_name()
+        if closing != label:
+            raise self.error("mismatched closing tag </%s> for <%s>" % (closing, label))
+        self.skip_whitespace()
+        self.expect(">")
+        return element
+
+    def parse_content(self, element: ElementNode, allow_eof: bool = False) -> None:
+        buffer: List[str] = []
+
+        def flush_text() -> None:
+            if buffer:
+                text = self.decode_entities("".join(buffer))
+                buffer.clear()
+                if text.strip():
+                    element.append(TextNode(text.strip()))
+
+        while self.pos < self.length:
+            if self.startswith("</"):
+                flush_text()
+                return
+            if self.startswith("<!--"):
+                end = self.text.find("-->", self.pos + 4)
+                if end == -1:
+                    raise self.error("unterminated comment")
+                self.pos = end + 3
+            elif self.startswith("<![CDATA["):
+                end = self.text.find("]]>", self.pos + 9)
+                if end == -1:
+                    raise self.error("unterminated CDATA section")
+                buffer.append(self.text[self.pos + 9:end].replace("&", "&amp;"))
+                self.pos = end + 3
+            elif self.startswith("<?"):
+                end = self.text.find("?>", self.pos + 2)
+                if end == -1:
+                    raise self.error("unterminated processing instruction")
+                self.pos = end + 2
+            elif self.peek() == "<":
+                flush_text()
+                element.append(self.parse_element())
+            else:
+                buffer.append(self.peek())
+                self.pos += 1
+        if allow_eof:
+            flush_text()
+            return
+        raise self.error("unexpected end of input inside <%s>" % element.label)
+
+
+def parse_fragment(text: str) -> List[Node]:
+    """Parse an XML forest (the shape of inserted ``xml`` snippets).
+
+    Returns the top-level nodes in order; leading/trailing whitespace
+    between trees is discarded, bare text becomes text nodes.
+    """
+    parser = _Parser(text)
+    wrapper = ElementNode("#fragment")
+    parser.skip_misc()
+    parser.parse_content(wrapper, allow_eof=True)
+    if parser.pos != parser.length:
+        raise parser.error("trailing content after fragment")
+    roots = list(wrapper.children)
+    for node in roots:
+        node.parent = None
+    return roots
+
+
+def parse_document(text: str, uri: str = "doc.xml") -> Document:
+    """Parse a full document and assign Dewey IDs."""
+    parser = _Parser(text)
+    parser.skip_misc()
+    if parser.peek() != "<":
+        raise parser.error("expected the root element")
+    root = parser.parse_element()
+    parser.skip_misc()
+    if parser.pos != parser.length:
+        raise parser.error("trailing content after the root element")
+    return build_document(root, uri=uri)

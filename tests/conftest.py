@@ -1,0 +1,70 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pattern.tree_pattern import Pattern, PatternNode
+from repro.xmldom.parser import parse_document
+
+
+@pytest.fixture
+def fig2_document():
+    """The running example of Figure 2 / Figure 11: a(c(b), f(b))."""
+    return parse_document("<a><c><b>hi</b></c><f><b>yo</b></f></a>")
+
+
+@pytest.fixture
+def fig12_document():
+    """The Example 4.5 document: a(c(b1,b2), f(c(b), b))."""
+    return parse_document(
+        "<a><c><b>1</b><b>2</b></c><f><c><b>3</b></c><b>4</b></f></a>"
+    )
+
+
+@pytest.fixture
+def people_document():
+    """A small auction-ish document used across the language tests."""
+    return parse_document(
+        "<site><people>"
+        '<person id="person0"><name>Ann</name><phone>1</phone>'
+        "<homepage>h0</homepage></person>"
+        '<person id="person1"><name>Bob</name></person>'
+        '<person id="person2"><name>Ann</name><homepage>h2</homepage>'
+        '<profile income="9">x</profile></person>'
+        "</people></site>"
+    )
+
+
+def chain_pattern(*labels, axis="desc", annotate="ID"):
+    """//l1//l2//...//lk with the chosen annotation on every node."""
+    nodes = []
+    for index, label in enumerate(labels):
+        node = PatternNode(
+            label,
+            axis=axis if index > 0 or axis == "desc" else "child",
+            store_id="ID" in annotate,
+            store_val="val" in annotate,
+            store_cont="cont" in annotate,
+        )
+        if nodes:
+            nodes[-1].add_child(node)
+        nodes.append(node)
+    return Pattern(nodes[0])
+
+
+def branch_pattern():
+    """The Figure 6 view: //a[//b//c]//d (IDs everywhere)."""
+    a = PatternNode("a", axis="desc", store_id=True)
+    b = a.add_child(PatternNode("b", axis="desc", store_id=True))
+    b.add_child(PatternNode("c", axis="desc", store_id=True))
+    a.add_child(PatternNode("d", axis="desc", store_id=True))
+    return Pattern(a)
+
+
+def v2_pattern():
+    """The Example 4.4/4.5 view: //a[//c]//b (IDs everywhere)."""
+    a = PatternNode("a", axis="desc", store_id=True)
+    a.add_child(PatternNode("c", axis="desc", store_id=True))
+    a.add_child(PatternNode("b", axis="desc", store_id=True))
+    return Pattern(a)

@@ -1,0 +1,120 @@
+"""The logical algebra A: σ, π, ×, δ, sort and predicates (Section 2.2)."""
+
+import pytest
+
+from repro.algebra.operators import (
+    And,
+    ColumnComparison,
+    ValueEquals,
+    cartesian_product,
+    duplicate_eliminate,
+    project,
+    select,
+    sort_rows,
+)
+from repro.algebra.relation import Relation
+from repro.xmldom.parser import parse_document
+
+
+@pytest.fixture
+def doc():
+    return parse_document("<a><b>x</b><b>y</b><c><b>x</b></c></a>")
+
+
+def node_relation(doc, label, column):
+    return Relation.single_column(column, doc.nodes_with_label(label))
+
+
+class TestRelation:
+    def test_schema_width_checked(self):
+        with pytest.raises(ValueError):
+            Relation(("x", "y"), [(1,)])
+
+    def test_column_access(self):
+        rel = Relation(("x", "y"), [(1, 2), (3, 4)])
+        assert rel.column("y") == [2, 4]
+        with pytest.raises(KeyError):
+            rel.column_index("z")
+
+    def test_extend_requires_same_schema(self):
+        rel = Relation(("x",), [(1,)])
+        with pytest.raises(ValueError):
+            rel.extend(Relation(("y",), [(2,)]))
+        rel.extend(Relation(("x",), [(2,)]))
+        assert len(rel) == 2
+
+    def test_reordered(self):
+        rel = Relation(("x", "y"), [(1, 2)])
+        assert rel.reordered(("y", "x")).rows == [(2, 1)]
+
+
+class TestSelect:
+    def test_value_equals_on_nodes(self, doc):
+        rel = node_relation(doc, "b", "b")
+        out = select(rel, ValueEquals("b", "x"))
+        assert len(out) == 2
+
+    def test_parent_comparison(self, doc):
+        pairs = cartesian_product(
+            node_relation(doc, "a", "a"), node_relation(doc, "b", "b")
+        )
+        out = select(pairs, ColumnComparison("a", "parent", "b"))
+        assert len(out) == 2  # the two direct b children of a
+
+    def test_ancestor_comparison(self, doc):
+        pairs = cartesian_product(
+            node_relation(doc, "a", "a"), node_relation(doc, "b", "b")
+        )
+        out = select(pairs, ColumnComparison("a", "ancestor", "b"))
+        assert len(out) == 3  # all three b nodes
+
+    def test_and_conjunction(self, doc):
+        pairs = cartesian_product(
+            node_relation(doc, "a", "a"), node_relation(doc, "b", "b")
+        )
+        out = select(
+            pairs,
+            And([ColumnComparison("a", "ancestor", "b"), ValueEquals("b", "x")]),
+        )
+        assert len(out) == 2
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnComparison("a", "child-of", "b")
+
+
+class TestProjectProductDelta:
+    def test_project_keeps_duplicates(self):
+        rel = Relation(("x", "y"), [(1, 2), (1, 3)])
+        out = project(rel, ("x",))
+        assert out.rows == [(1,), (1,)]
+
+    def test_product_schema_disjointness(self):
+        rel = Relation(("x",), [(1,)])
+        with pytest.raises(ValueError):
+            cartesian_product(rel, rel)
+
+    def test_product_cardinality(self):
+        left = Relation(("x",), [(1,), (2,)])
+        right = Relation(("y",), [(3,), (4,), (5,)])
+        assert len(cartesian_product(left, right)) == 6
+
+    def test_duplicate_eliminate_counts(self):
+        rel = Relation(("x",), [(1,), (2,), (1,), (1,)])
+        assert duplicate_eliminate(rel) == [((1,), 3), ((2,), 1)]
+
+    def test_duplicate_eliminate_preserves_first_seen_order(self):
+        rel = Relation(("x",), [(9,), (1,), (9,)])
+        assert [row for row, _ in duplicate_eliminate(rel)] == [(9,), (1,)]
+
+
+class TestSort:
+    def test_sort_by_ids_is_document_order(self, doc):
+        rel = node_relation(doc, "b", "b")
+        shuffled = Relation(rel.schema, list(reversed(rel.rows)))
+        assert sort_rows(shuffled).rows == rel.rows
+
+    def test_sort_by_chosen_columns(self):
+        rel = Relation(("x", "y"), [(2, "a"), (1, "b")])
+        assert sort_rows(rel, ("y",)).rows == [(2, "a"), (1, "b")]
+        assert sort_rows(rel, ("x",)).rows == [(1, "b"), (2, "a")]

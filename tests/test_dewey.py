@@ -1,0 +1,162 @@
+"""Compact Dynamic Dewey IDs: the four properties of Section 2.1."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.xmldom.dewey import (
+    DeweyID,
+    ordinal_after,
+    ordinal_before,
+    ordinal_between,
+    ordinal_compare,
+    ordinal_initial,
+)
+
+
+def make_id(*steps):
+    return DeweyID(tuple((label, ordinal) for label, ordinal in steps))
+
+
+class TestOrdinals:
+    def test_initial_positions_are_ordered(self):
+        assert ordinal_compare(ordinal_initial(1), ordinal_initial(2)) == -1
+
+    def test_initial_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ordinal_initial(0)
+
+    def test_before_and_after(self):
+        assert ordinal_compare(ordinal_before((5,)), (5,)) == -1
+        assert ordinal_compare(ordinal_after((5,)), (5,)) == 1
+
+    def test_between_adjacent_integers(self):
+        middle = ordinal_between((1,), (2,))
+        assert ordinal_compare((1,), middle) == -1
+        assert ordinal_compare(middle, (2,)) == -1
+
+    def test_between_gap(self):
+        assert ordinal_between((1,), (5,)) == (2,)
+
+    def test_between_requires_order(self):
+        with pytest.raises(ValueError):
+            ordinal_between((2,), (2,))
+        with pytest.raises(ValueError):
+            ordinal_between((3,), (2,))
+
+    def test_padding_equivalence(self):
+        assert ordinal_compare((1,), (1, 0)) == 0
+        assert ordinal_compare((1, 0, 1), (1,)) == 1
+
+    def test_repeated_between_never_relabels(self):
+        # Squeeze 100 ordinals into the (1, 2) gap: no existing ordinal
+        # changes, the "no relabeling" property of the scheme.
+        low, high = (1,), (2,)
+        produced = []
+        left = low
+        for _ in range(100):
+            left = ordinal_between(left, high)
+            produced.append(left)
+        for a, b in zip(produced, produced[1:]):
+            assert ordinal_compare(a, b) == -1
+
+    @given(
+        st.lists(st.integers(-5, 5), min_size=1, max_size=4),
+        st.lists(st.integers(-5, 5), min_size=1, max_size=4),
+    )
+    def test_between_property(self, a, b):
+        a, b = tuple(a), tuple(b)
+        cmp = ordinal_compare(a, b)
+        if cmp == 0:
+            return
+        low, high = (a, b) if cmp < 0 else (b, a)
+        middle = ordinal_between(low, high)
+        assert ordinal_compare(low, middle) == -1
+        assert ordinal_compare(middle, high) == -1
+
+
+class TestStructure:
+    def test_label_and_depth(self):
+        node = make_id(("a", (1,)), ("b", (2,)))
+        assert node.label == "b"
+        assert node.depth == 2
+
+    def test_parent_and_ancestors(self):
+        a = make_id(("a", (1,)))
+        ab = a.child("b", (1,))
+        abc = ab.child("c", (3,))
+        assert abc.parent() == ab
+        assert a.parent() is None
+        assert list(abc.ancestor_ids()) == [a, ab]
+        assert abc.ancestor_labels() == ("a", "b")
+        assert abc.label_path() == ("a", "b", "c")
+
+    def test_parent_and_ancestor_predicates(self):
+        a = make_id(("a", (1,)))
+        ab = a.child("b", (1,))
+        abc = ab.child("c", (1,))
+        assert a.is_parent_of(ab)
+        assert not a.is_parent_of(abc)
+        assert a.is_ancestor_of(ab) and a.is_ancestor_of(abc)
+        assert not a.is_ancestor_of(a)
+        assert a.is_ancestor_or_self(a)
+        assert abc.has_ancestor_labeled("a")
+        assert not abc.has_ancestor_labeled("c")
+
+    def test_document_order_ancestor_first(self):
+        a = make_id(("a", (1,)))
+        ab = a.child("b", (1,))
+        ab2 = a.child("b", (2,))
+        assert a < ab < ab2
+        assert sorted([ab2, a, ab]) == [a, ab, ab2]
+
+    def test_sibling_order_by_dynamic_ordinal(self):
+        a = make_id(("a", (1,)))
+        first = a.child("x", (1,))
+        squeezed = a.child("x", ordinal_between((1,), (2,)))
+        second = a.child("x", (2,))
+        assert first < squeezed < second
+
+    def test_equality_and_hash(self):
+        x = make_id(("a", (1,)), ("b", (1, 0)))
+        y = make_id(("a", (1,)), ("b", (1,)))
+        assert x == y  # normalization strips trailing zeros
+        assert hash(x) == hash(y)
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            DeweyID(())
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        node = make_id(("site", (1,)), ("person", (42,)), ("name", (1, 7)))
+        codes = {}
+        blob = node.encode(codes)
+        names = [label for label, _ in sorted(codes.items(), key=lambda kv: kv[1])]
+        assert DeweyID.decode(blob, names) == node
+
+    def test_compactness(self):
+        node = make_id(("a", (1,)), ("b", (2,)), ("c", (3,)))
+        codes = {}
+        assert len(node.encode(codes)) <= 12
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c", "person"]),
+                st.lists(st.integers(-100, 100), min_size=1, max_size=3),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_roundtrip_property(self, steps):
+        node = DeweyID([(label, tuple(ordinal)) for label, ordinal in steps])
+        codes = {}
+        blob = node.encode(codes)
+        names = [label for label, _ in sorted(codes.items(), key=lambda kv: kv[1])]
+        assert DeweyID.decode(blob, names) == node
+
+    def test_str_rendering(self):
+        node = make_id(("a", (1,)), ("c", (1,)), ("b", (1,)))
+        assert str(node) == "a1.c1.b1"

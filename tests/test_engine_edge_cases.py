@@ -1,0 +1,135 @@
+"""Edge cases and failure-injection for the maintenance engine."""
+
+import pytest
+
+from repro.maintenance.engine import MaintenanceEngine
+from repro.pattern.tree_pattern import Pattern, PatternNode
+from repro.updates.language import DeleteUpdate, InsertUpdate, parse_update
+from repro.xmldom.parser import parse_document
+from tests.conftest import chain_pattern
+
+
+class TestAttributeViews:
+    def test_view_over_attributes(self):
+        doc = parse_document('<r><p id="1"/><p id="2"/><q id="3"/></r>')
+        p = PatternNode("p", axis="desc", store_id=True)
+        attr = p.add_child(PatternNode("@id", axis="child", store_id=True, store_val=True))
+        engine = MaintenanceEngine(doc)
+        registered = engine.register_view(Pattern(p), "v")
+        assert [row[2] for row in registered.view.rows()] == ["1", "2"]
+        engine.apply_update(DeleteUpdate("//p[@id = '1']"))
+        assert registered.view.equals_fresh_evaluation(doc)
+        assert len(registered.view) == 1
+
+    def test_attribute_insert_propagates(self):
+        # Inserted fragments may carry attributes matched by views.
+        doc = parse_document("<r><p/></r>")
+        p = PatternNode("p", axis="desc", store_id=True)
+        p.add_child(PatternNode("q", axis="desc", store_id=True)).add_child(
+            PatternNode("@k", axis="child", store_id=True, store_val=True)
+        )
+        engine = MaintenanceEngine(doc)
+        registered = engine.register_view(Pattern(p), "v")
+        engine.apply_update(InsertUpdate("//p", '<q k="7"/>'))
+        assert registered.view.equals_fresh_evaluation(doc)
+        assert len(registered.view) == 1
+
+
+class TestWildcardViews:
+    def test_wildcard_internal_node(self):
+        doc = parse_document("<r><x><b>1</b></x><y><b>2</b></y></r>")
+        star = PatternNode("*", axis="desc", store_id=True)
+        star.add_child(PatternNode("b", axis="child", store_id=True))
+        engine = MaintenanceEngine(doc)
+        registered = engine.register_view(Pattern(star), "v")
+        assert len(registered.view) == 2
+        engine.apply_update(InsertUpdate("//y", "<b>3</b>"))
+        assert registered.view.equals_fresh_evaluation(doc)
+        engine.apply_update(DeleteUpdate("//x"))
+        assert registered.view.equals_fresh_evaluation(doc)
+
+
+class TestRepeatedStatements:
+    def test_idempotent_delete(self, fig12_document):
+        engine = MaintenanceEngine(fig12_document)
+        registered = engine.register_view(chain_pattern("a", "b"), "v")
+        engine.apply_update(DeleteUpdate("//f"))
+        report = engine.apply_update(DeleteUpdate("//f"))
+        assert report.pul_size == 0
+        assert registered.view.equals_fresh_evaluation(fig12_document)
+
+    def test_many_small_updates_stay_consistent(self):
+        doc = parse_document("<r><a/></r>")
+        engine = MaintenanceEngine(doc)
+        registered = engine.register_view(chain_pattern("a", "b", "c"), "v")
+        for round_number in range(6):
+            engine.apply_update(InsertUpdate("//a", "<b><c/></b>"))
+            assert registered.view.equals_fresh_evaluation(doc), round_number
+        # Now unwind: each round strips the c leaves, then the b layer.
+        for round_number, path in enumerate(("//b//c", "//a/b", "//b")):
+            engine.apply_update(DeleteUpdate(path))
+            assert registered.view.equals_fresh_evaluation(doc), round_number
+
+    def test_insert_then_delete_inserted(self):
+        doc = parse_document("<r><a/></r>")
+        engine = MaintenanceEngine(doc)
+        registered = engine.register_view(chain_pattern("a", "b"), "v")
+        engine.apply_update(InsertUpdate("//a", "<b/>"))
+        assert len(registered.view) == 1
+        engine.apply_update(DeleteUpdate("//a/b"))
+        assert len(registered.view) == 0
+        assert registered.view.equals_fresh_evaluation(doc)
+        # And again: fresh IDs, no tombstone interference.
+        engine.apply_update(InsertUpdate("//a", "<b/>"))
+        assert len(registered.view) == 1
+        assert registered.view.equals_fresh_evaluation(doc)
+
+
+class TestDeepAndWide:
+    def test_deep_chain_pattern(self):
+        labels = ["a", "b", "c", "d", "e"]
+        text = "".join("<%s>" % l for l in labels) + "x" + "".join(
+            "</%s>" % l for l in reversed(labels)
+        )
+        doc = parse_document("<r>%s</r>" % text)
+        engine = MaintenanceEngine(doc)
+        pattern = chain_pattern(*labels)
+        registered = engine.register_view(pattern, "v")
+        assert len(registered.view) == 1
+        # Terms for a 5-chain: 5 Δ-suffixes developed.
+        report = engine.apply_update(
+            InsertUpdate("//d", "<e/>")
+        )
+        assert report.report_for("v").terms_developed == 5
+        assert registered.view.equals_fresh_evaluation(doc)
+
+    def test_wide_branching_pattern(self):
+        root = PatternNode("p", axis="desc", store_id=True)
+        for label in ("x", "y", "z"):
+            root.add_child(PatternNode(label, axis="child", store_id=True))
+        doc = parse_document("<r><p><x/><y/><z/></p><p><x/><y/></p></r>")
+        engine = MaintenanceEngine(doc)
+        registered = engine.register_view(Pattern(root), "v")
+        assert len(registered.view) == 1
+        engine.apply_update(InsertUpdate("//p", "<z/>"))
+        assert registered.view.equals_fresh_evaluation(doc)
+        assert len(registered.view) == 3  # 1 old + (1 new z for p1) + p2 completes
+
+
+class TestStatementTextForms:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "insert <b/> into //a",
+            "for $x in //a insert <b/>",
+            "for $x in //a insert <b/> into $x",
+            'let $c := doc("d.xml") for $x in $c//a insert <b/>',
+        ],
+    )
+    def test_equivalent_insert_phrasings(self, text):
+        doc = parse_document("<r><a/><a/></r>")
+        engine = MaintenanceEngine(doc)
+        registered = engine.register_view(chain_pattern("a", "b"), "v")
+        engine.apply_update(parse_update(text))
+        assert len(registered.view) == 2
+        assert registered.view.equals_fresh_evaluation(doc)

@@ -1,0 +1,128 @@
+"""Pattern evaluation: algebraic (structural joins) vs embeddings.
+
+The two evaluators are implemented independently; their agreement on
+random documents is the core semantic invariant of the whole system.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pattern.embedding import evaluate_embeddings
+from repro.pattern.evaluate import (
+    evaluate_bindings,
+    evaluate_view,
+    sources_from_document,
+    view_columns,
+)
+from repro.pattern.tree_pattern import Pattern, PatternNode
+from repro.xmldom.parser import parse_document
+from tests.conftest import branch_pattern, chain_pattern, v2_pattern
+
+
+class TestBindings:
+    def test_simple_chain(self, fig2_document):
+        pattern = chain_pattern("a", "b")
+        bindings = evaluate_bindings(pattern, fig2_document)
+        assert len(bindings) == 2
+        assert bindings.schema == ("a#1", "b#1")
+
+    def test_child_axis_root_anchors_at_document_root(self, fig2_document):
+        pattern = chain_pattern("c", "b")
+        pattern.root.axis = "child"
+        assert len(evaluate_bindings(pattern, fig2_document)) == 0
+
+    def test_branching(self, fig12_document):
+        bindings = evaluate_bindings(v2_pattern(), fig12_document)
+        # The 8 tuples listed in Figure 12.
+        assert len(bindings) == 8
+
+    def test_value_predicate_filters_sources(self, fig2_document):
+        pattern = chain_pattern("a", "b")
+        pattern.node("b#1").value_pred = "hi"
+        assert len(evaluate_bindings(pattern, fig2_document)) == 1
+
+    def test_explicit_sources(self, fig2_document):
+        pattern = chain_pattern("a", "b")
+        sources = sources_from_document(pattern, fig2_document)
+        sources["b#1"] = sources["b#1"][:1]
+        assert len(evaluate_bindings(pattern, sources=sources)) == 1
+
+    def test_output_sorted_by_binding_ids(self, fig12_document):
+        bindings = evaluate_bindings(v2_pattern(), fig12_document)
+        keys = [tuple(c.id for c in row) for row in bindings.rows]
+        assert keys == sorted(keys)
+
+    def test_wildcard_matches_elements_only(self, fig2_document):
+        star = PatternNode("*", axis="desc", store_id=True)
+        pattern = Pattern(star)
+        bindings = evaluate_bindings(pattern, fig2_document)
+        assert len(bindings) == 5  # a, c, b, f, b -- no text nodes
+
+
+class TestViewSemantics:
+    def test_view_columns(self):
+        pattern = chain_pattern("a", "b")
+        pattern.node("b#1").store_val = True
+        assert view_columns(pattern) == ["a#1.ID", "b#1.ID", "b#1.val"]
+
+    def test_derivation_counts(self, fig2_document):
+        # //a{ID}[//b]: a single tuple with two derivations.
+        a = PatternNode("a", axis="desc", store_id=True)
+        a.add_child(PatternNode("b", axis="desc"))
+        content = evaluate_view(Pattern(a), fig2_document)
+        assert len(content) == 1
+        (_row, count), = content
+        assert count == 2
+
+    def test_val_and_cont_extraction(self, fig2_document):
+        pattern = chain_pattern("c", "b", annotate="ID")
+        b = pattern.node("b#1")
+        b.store_val = True
+        b.store_cont = True
+        ((row, _count),) = evaluate_view(pattern, fig2_document)
+        assert row[2] == "hi"
+        assert row[3] == "<b>hi</b>"
+
+
+def _random_document(rng):
+    def build(depth):
+        label = rng.choice("abc")
+        inner = ""
+        if depth < 3:
+            inner = "".join(build(depth + 1) for _ in range(rng.randint(0, 3)))
+        if not inner and rng.random() < 0.4:
+            inner = rng.choice(("x", "y"))
+        return "<%s>%s</%s>" % (label, inner, label)
+
+    return parse_document("<r>%s%s</r>" % (build(0), build(0)))
+
+
+def _random_pattern(rng):
+    root = PatternNode(rng.choice("rabc"), axis="desc", store_id=True)
+    nodes = [root]
+    for _ in range(rng.randint(1, 3)):
+        parent = rng.choice(nodes)
+        child = PatternNode(
+            rng.choice("abc"),
+            axis=rng.choice(("child", "desc")),
+            store_id=True,
+        )
+        parent.add_child(child)
+        nodes.append(child)
+    if rng.random() < 0.3:
+        rng.choice(nodes[1:]).value_pred = rng.choice(("x", "y"))
+    return Pattern(root)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_algebraic_equals_embedding_semantics(seed):
+    rng = random.Random(seed)
+    doc = _random_document(rng)
+    pattern = _random_pattern(rng)
+    algebraic = evaluate_bindings(pattern, doc)
+    embeddings = evaluate_embeddings(pattern, doc)
+    key = lambda rel: sorted(tuple(c.id for c in row) for row in rel.rows)
+    assert key(algebraic) == key(embeddings)

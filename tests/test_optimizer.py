@@ -1,0 +1,185 @@
+"""PUL optimization: reduction, conflict and aggregation rules
+(Section 5; Examples 5.1, 5.2, 5.3).
+"""
+
+import pytest
+
+from repro.optimizer.aggregation import aggregate_puls
+from repro.optimizer.conflicts import (
+    Conflict,
+    deletes_win,
+    detect_conflicts,
+    integrate_puls,
+)
+from repro.optimizer.ops import Del, Ins, pul_to_operations
+from repro.optimizer.rules import reduce_operations, reduce_statements
+from repro.updates.language import DeleteUpdate, InsertUpdate
+from repro.updates.pul import compute_pul
+from repro.xmldom.parser import parse_document
+from repro.xmldom.serializer import serialize_fragment
+
+
+@pytest.fixture
+def fig17_document():
+    """The Figure 17 document (trimmed to the nodes the examples use)."""
+    return parse_document(
+        "<a><c><b>"
+        "<d><b/></d><d><b/></d><d><b><e/></b></d>"
+        "</b></c><f><c><b/></c></f><c><b/></c></a>"
+    )
+
+
+def node_id(doc, path, index=0):
+    from repro.pattern.xpath_parser import evaluate_path
+
+    return evaluate_path(path, doc)[index].id
+
+
+class TestReductionRules:
+    def test_o1_insert_then_delete_same_target(self, fig17_document):
+        target = node_id(fig17_document, "//d/b")
+        ops = [Ins(target, "<b><d/></b>"), Del(target)]
+        reduced = reduce_operations(ops)
+        assert len(reduced) == 1
+        assert isinstance(reduced[0], Del)
+
+    def test_o1_delete_then_delete(self, fig17_document):
+        target = node_id(fig17_document, "//d/b")
+        reduced = reduce_operations([Del(target), Del(target)])
+        assert len(reduced) == 1
+
+    def test_o3_ancestor_delete_voids_descendant_op(self, fig17_document):
+        child = node_id(fig17_document, "//d/b")
+        ancestor = node_id(fig17_document, "//c/b")
+        ops = [Ins(child, "<b/>"), Del(ancestor)]
+        reduced = reduce_operations(ops)
+        assert len(reduced) == 1
+        assert isinstance(reduced[0], Del) and reduced[0].target == ancestor
+
+    def test_i5_merges_same_target_inserts(self, fig17_document):
+        target = node_id(fig17_document, "//d", 2)
+        ops = [Ins(target, "<b/>"), Ins(target, "<d><b/></d>")]
+        reduced = reduce_operations(ops)
+        assert len(reduced) == 1
+        assert [t.label for t in reduced[0].forest] == ["b", "d"]
+
+    def test_example_5_1_full_reduction(self, fig17_document):
+        doc = fig17_document
+        # Use real nodes: first d's b, second d, third d.
+        b_under_d1 = node_id(doc, "//d/b", 0)
+        d2 = node_id(doc, "//d", 1)
+        d3 = node_id(doc, "//d", 2)
+        ops = [
+            Ins(b_under_d1, "<b><d/></b>"),  # op1: voided by op2 (O1)
+            Del(b_under_d1),                  # op2
+            Ins(d2.child("b", (1,)), "<b/>"),  # op3: voided by op4 (O3)
+            Del(d2),                          # op4
+            Ins(d3, "<b/>"),                  # op5 + op6 merge (I5)
+            Ins(d3, "<d><b/></d>"),
+        ]
+        reduced = reduce_operations(ops)
+        kinds = [op.kind for op in reduced]
+        assert kinds == ["del", "del", "ins"]
+        assert [t.label for t in reduced[-1].forest] == ["b", "d"]
+
+    def test_unrelated_ops_kept_in_order(self, fig17_document):
+        a = node_id(fig17_document, "//d", 0)
+        b = node_id(fig17_document, "//d", 1)
+        ops = [Ins(a, "<x/>"), Ins(b, "<y/>")]
+        assert reduce_operations(ops) == ops
+
+
+class TestConflictRules:
+    def test_example_5_2_conflicts(self, fig17_document):
+        doc = fig17_document
+        d1 = node_id(doc, "//d", 0)
+        d2 = node_id(doc, "//d", 1)
+        d3_b = node_id(doc, "//d", 2).child("b", (1,))
+        pul1 = [Ins(d1, "<d><b/></d>"), Del(d2), Del(node_id(doc, "//d", 2))]
+        pul2 = [Ins(d1, "<b/>"), Ins(d2, "<b/>"), Ins(d3_b, "<b/>")]
+        conflicts = detect_conflicts(pul1, pul2)
+        kinds = sorted(c.kind for c in conflicts)
+        assert kinds == ["IO", "LO", "NLO"]
+
+    def test_io_is_symmetric(self, fig17_document):
+        target = node_id(fig17_document, "//d", 0)
+        (conflict,) = detect_conflicts([Ins(target, "<x/>")], [Ins(target, "<y/>")])
+        assert conflict.kind == "IO" and conflict.symmetric
+
+    def test_default_policy_fails(self, fig17_document):
+        target = node_id(fig17_document, "//d", 0)
+        with pytest.raises(ValueError):
+            integrate_puls([Del(target)], [Ins(target, "<x/>")])
+
+    def test_deletes_win_policy(self, fig17_document):
+        target = node_id(fig17_document, "//d", 0)
+        integrated, conflicts = integrate_puls(
+            [Del(target)], [Ins(target, "<x/>")], resolution=deletes_win
+        )
+        assert len(conflicts) == 1
+        assert [op.kind for op in integrated] == ["del"]
+
+    def test_no_conflicts_concatenates(self, fig17_document):
+        a = node_id(fig17_document, "//d", 0)
+        b = node_id(fig17_document, "//d", 1)
+        integrated, conflicts = integrate_puls([Ins(a, "<x/>")], [Ins(b, "<y/>")])
+        assert conflicts == []
+        assert len(integrated) == 2
+
+
+class TestAggregationRules:
+    def test_a1_merges_same_target_inserts_across_puls(self, fig17_document):
+        target = node_id(fig17_document, "//d", 0)
+        first, second = aggregate_puls(
+            [Ins(target, "<c><b/></c>")], [Ins(target, "<b/>")]
+        )
+        assert second == []
+        assert [t.label for t in first[0].forest] == ["c", "b"]
+
+    def test_d6_folds_op_into_pending_fragment(self, fig17_document):
+        # Δ1 inserts <d><b/></d> under d3; Δ2 inserts <b/> under the
+        # *future* d node of that fragment (Example 5.3's op31/op32).
+        d3 = node_id(fig17_document, "//d", 2)
+        future_d = d3.child("d", (99,))
+        first, second = aggregate_puls(
+            [Ins(d3, "<d><b/></d>")], [Ins(future_d, "<b/>")]
+        )
+        assert second == []
+        fragment = first[0].forest[0]
+        assert serialize_fragment(fragment) == "<d><b/><b/></d>"
+
+    def test_d6_delete_inside_fragment(self, fig17_document):
+        d3 = node_id(fig17_document, "//d", 2)
+        future_b = d3.child("d", (99,)).child("b", (1,))
+        first, second = aggregate_puls(
+            [Ins(d3, "<d><b/></d>")], [Del(future_b)]
+        )
+        assert second == []
+        assert serialize_fragment(first[0].forest[0]) == "<d/>"
+
+    def test_unrelated_ops_stay_in_second_pul(self, fig17_document):
+        d1 = node_id(fig17_document, "//d", 0)
+        d2 = node_id(fig17_document, "//d", 1)
+        first, second = aggregate_puls([Ins(d1, "<x/>")], [Ins(d2, "<y/>")])
+        assert len(first) == 1 and len(second) == 1
+
+
+class TestStatementReduction:
+    def test_coalescing_preserves_semantics(self, people_document):
+        statements = [
+            InsertUpdate("/site/people/person", "<tag/>"),
+            DeleteUpdate("/site/people/person[@id = 'person1']"),
+        ]
+        reduced = reduce_statements(people_document, statements)
+        # person1's insert is voided by its delete (O3); the others
+        # coalesce into one multi-target insert plus one delete.
+        kinds = [statement.kind for statement in reduced]
+        assert kinds == ["insert", "delete"]
+        assert len(reduced[0].target_ids) == 2
+
+    def test_pul_to_operations_copies_forests(self, people_document):
+        update = InsertUpdate("/site/people/person", "<tag/>")
+        pul = compute_pul(people_document, update)
+        ops = pul_to_operations(pul)
+        assert len(ops) == 3
+        assert ops[0].forest[0] is not update.forest[0]

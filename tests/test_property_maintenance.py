@@ -1,0 +1,144 @@
+"""The grand invariant, property-based:
+
+for random documents, random conjunctive views and random update
+statements, incremental maintenance must coincide with re-evaluating
+the view on the updated document -- tuples *and* derivation counts --
+and the materialized snowcaps must equal their fresh evaluations.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.maintenance.engine import MaintenanceEngine
+from repro.pattern.evaluate import evaluate_bindings
+from repro.pattern.tree_pattern import Pattern, PatternNode
+from repro.updates.language import DeleteUpdate, InsertUpdate
+from repro.xmldom.parser import parse_document
+from repro.xmldom.serializer import serialize_fragment
+
+_LABELS = "abcd"
+
+
+def _random_tree_text(rng, depth=0):
+    label = rng.choice(_LABELS)
+    inner = ""
+    if depth < 3:
+        inner = "".join(
+            _random_tree_text(rng, depth + 1) for _ in range(rng.randint(0, 3))
+        )
+    if not inner and rng.random() < 0.3:
+        inner = rng.choice(("x", "y"))
+    return "<%s>%s</%s>" % (label, inner, label)
+
+
+def _random_document(rng):
+    body = "".join(_random_tree_text(rng) for _ in range(rng.randint(1, 3)))
+    return parse_document("<r>%s</r>" % body)
+
+
+def _random_view(rng):
+    root = PatternNode(rng.choice(_LABELS + "r"), axis="desc", store_id=True)
+    nodes = [root]
+    for _ in range(rng.randint(1, 3)):
+        parent = rng.choice(nodes)
+        child = PatternNode(
+            rng.choice(_LABELS),
+            axis=rng.choice(("child", "desc")),
+            store_id=True,
+        )
+        parent.add_child(child)
+        nodes.append(child)
+    target = rng.choice(nodes)
+    if rng.random() < 0.5:
+        target.store_val = True
+    if rng.random() < 0.3:
+        target.store_cont = True
+    return Pattern(root)
+
+
+def _random_update(rng):
+    label = rng.choice(_LABELS)
+    axis = rng.choice(("//", "//", "/r/"))
+    path = "%s%s" % (axis, label)
+    if rng.random() < 0.5:
+        return DeleteUpdate(path)
+    fragment = _random_tree_text(rng, depth=2 - min(2, rng.randint(0, 2)))
+    return InsertUpdate(path, fragment)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_maintenance_equals_recomputation(seed):
+    rng = random.Random(seed)
+    doc = _random_document(rng)
+    engine = MaintenanceEngine(doc)
+    registered = engine.register_view(_random_view(rng), "v",
+                                      strategy=rng.choice(("snowcaps", "leaves")))
+    for _ in range(rng.randint(1, 3)):
+        update = _random_update(rng)
+        targets = update.target.evaluate(doc)
+        if update.kind == "insert" and any(
+            not hasattr(t, "children") for t in targets
+        ):
+            continue  # skip inserts into attribute/text targets
+        engine.apply_update(update)
+        assert registered.view.equals_fresh_evaluation(doc), (
+            seed,
+            update,
+            registered.view.diff_against_fresh(doc),
+        )
+    for subset in registered.lattice.materialized_sets():
+        stored = registered.lattice.relation_for(subset)
+        fresh = evaluate_bindings(registered.pattern.subpattern(subset), doc)
+        assert sorted(tuple(c.id for c in r) for r in stored.rows) == sorted(
+            tuple(c.id for c in r) for r in fresh.rows
+        ), (seed, sorted(subset))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_optimized_sequences_equal_plain(seed):
+    """Reduction preserves snapshot (pre-resolved PUL) semantics.
+
+    Section 5 operates on pending update lists, i.e., targets are
+    resolved before any operation runs; both sides of the comparison
+    therefore resolve every statement's targets on the original
+    document, and the optimized side additionally reduces.
+    """
+    from repro.updates.language import ResolvedDeleteUpdate, ResolvedInsertUpdate
+    from repro.updates.pul import compute_pul
+
+    rng = random.Random(seed)
+    text = serialize_fragment(_random_document(rng).root)
+    updates = [_random_update(rng) for _ in range(rng.randint(2, 4))]
+    view = _random_view(rng)
+
+    def resolve(doc):
+        resolved = []
+        for update in updates:
+            pul = compute_pul(doc, update)
+            if update.kind == "insert":
+                ids = [op.target.id for op in pul.inserts()]
+                if ids:
+                    resolved.append(
+                        ResolvedInsertUpdate(ids, update.forest, name=update.name)
+                    )
+            else:
+                ids = [op.target.id for op in pul.deletes()]
+                if ids:
+                    resolved.append(ResolvedDeleteUpdate(ids, name=update.name))
+        return resolved
+
+    def run(optimize):
+        doc = parse_document(text)
+        engine = MaintenanceEngine(doc)
+        registered = engine.register_view(view, "v")
+        engine.apply_sequence(resolve(doc), optimize=optimize)
+        assert registered.view.equals_fresh_evaluation(doc), (seed, optimize)
+        return registered.view.content(), serialize_fragment(doc.root)
+
+    plain_content, plain_doc = run(False)
+    opt_content, opt_doc = run(True)
+    assert plain_doc == opt_doc
+    assert plain_content == opt_content

@@ -1,0 +1,75 @@
+"""Rendering view extents back to XML (the Figure 3 return clause)."""
+
+import pytest
+
+from repro.maintenance.engine import MaintenanceEngine
+from repro.pattern.xquery import parse_view
+from repro.updates.language import parse_update
+from repro.views.render import render_tuple, render_view
+from repro.views.view import MaterializedView
+from repro.xmldom.parser import parse_document
+
+
+@pytest.fixture
+def setup():
+    doc = parse_document(
+        "<site><people>"
+        "<person id='p0'><name>Ann &amp; co</name></person>"
+        "<person id='p1'><name>Bob</name></person>"
+        "</people></site>"
+    )
+    definition = parse_view(
+        'let $c := doc("s") return for $p in $c/site/people/person, $n in $p/name '
+        "return <res><who>{id($p)}</who><name>{string($n)}</name>"
+        "<full>{$n}</full></res>"
+    )
+    view = MaterializedView.materialize(definition.pattern, doc)
+    return doc, definition, view
+
+
+class TestRenderTuple:
+    def test_wrappers_and_kinds(self, setup):
+        _doc, definition, view = setup
+        first = view.rows()[0]
+        rendered = render_tuple(definition, first)
+        assert rendered.startswith("<res><who>site1.people1.person1</who>")
+        assert "<name>Ann &amp; co</name>" in rendered
+        assert "<full><name>Ann &amp; co</name></full>" in rendered
+        assert rendered.endswith("</res>")
+
+    def test_val_is_escaped_cont_is_markup(self, setup):
+        _doc, definition, view = setup
+        rendered = render_tuple(definition, view.rows()[0])
+        # val: escaped text; cont: literal subtree markup
+        assert rendered.count("&amp;") == 2
+
+
+class TestRenderView:
+    def test_whole_extent(self, setup):
+        _doc, definition, view = setup
+        xml = render_view(definition, view)
+        assert xml.startswith("<results>") and xml.endswith("</results>")
+        assert xml.count("<res>") == 2
+
+    def test_result_is_well_formed(self, setup):
+        _doc, definition, view = setup
+        reparsed = parse_document(render_view(definition, view))
+        assert len(list(reparsed.root.child_elements())) == 2
+
+    def test_duplicate_expansion(self):
+        doc = parse_document("<site><a><b/><b/></a></site>")
+        definition = parse_view(
+            'for $a in doc("d")/site/a, $b in $a/b '
+            "return <r><who>{id($a)}</who></r>"
+        )
+        view = MaterializedView.materialize(definition.pattern, doc)
+        assert render_view(definition, view).count("<r>") == 2
+        assert render_view(definition, view, expand_duplicates=False).count("<r>") == 1
+
+    def test_render_follows_maintenance(self, setup):
+        doc, definition, view = setup
+        engine = MaintenanceEngine(doc)
+        registered = engine.register_view(definition, "v")
+        engine.apply_update(parse_update("delete //person[name = 'Bob']"))
+        xml = render_view(definition, registered.view)
+        assert "Bob" not in xml and "Ann" in xml

@@ -1,0 +1,172 @@
+"""DTD reasoning: content models, Δ-implications, violation detection."""
+
+import pytest
+
+from repro.schema.constraints import (
+    DeltaImplication,
+    check_delta_implications,
+    check_insert_against_dtd,
+    derive_delta_implications,
+    validate_document,
+)
+from repro.schema.dtd import (
+    DTD,
+    DTDSyntaxError,
+    any_model,
+    choice,
+    empty_model,
+    name,
+    opt,
+    parse_dtd,
+    plus,
+    seq,
+    star,
+)
+from repro.updates.language import InsertUpdate
+from repro.updates.pul import compute_pul
+from repro.xmldom.parser import parse_document, parse_fragment
+
+
+def figure5_d1():
+    """DTD d1: d1 → AS, AS → a+, a → BS, BS → b+, b → c, c → ε."""
+    return DTD(
+        {
+            "d1": name("AS"),
+            "AS": plus(name("a")),
+            "a": name("BS"),
+            "BS": plus(name("b")),
+            "b": name("c"),
+            "c": empty_model(),
+        },
+        root="d1",
+    )
+
+
+def figure5_d2():
+    """DTD d2: d2 → (a,b,c)+, with optional/recursive a → BS, BS → x|ε."""
+    return DTD(
+        {
+            "d2": plus(seq(name("a"), name("b"), name("c"))),
+            "a": name("BS"),
+            "BS": choice(name("x"), empty_model()),
+            "x": choice(name("x"), empty_model()),
+            "b": empty_model(),
+            "c": empty_model(),
+        },
+        root="d2",
+    )
+
+
+class TestContentModels:
+    def test_seq_matching(self):
+        dtd = DTD({"e": seq(name("a"), star(name("b")), opt(name("c")))})
+        assert dtd.allows_children("e", ["a"])
+        assert dtd.allows_children("e", ["a", "b", "b", "c"])
+        assert not dtd.allows_children("e", ["b"])
+        assert not dtd.allows_children("e", ["a", "c", "b"])
+
+    def test_choice_matching(self):
+        dtd = DTD({"e": choice(name("a"), seq(name("b"), name("c")))})
+        assert dtd.allows_children("e", ["a"])
+        assert dtd.allows_children("e", ["b", "c"])
+        assert not dtd.allows_children("e", ["a", "b"])
+
+    def test_plus_requires_one(self):
+        dtd = DTD({"e": plus(name("a"))})
+        assert not dtd.allows_children("e", [])
+        assert dtd.allows_children("e", ["a", "a", "a"])
+
+    def test_any_and_undeclared(self):
+        dtd = DTD({"e": any_model()})
+        assert dtd.allows_children("e", ["x", "y"])
+        assert dtd.allows_children("undeclared", ["whatever"])
+
+    def test_figure5_d2_group_repetition(self):
+        dtd = figure5_d2()
+        assert dtd.allows_children("d2", ["a", "b", "c"])
+        assert dtd.allows_children("d2", ["a", "b", "c", "a", "b", "c"])
+        assert not dtd.allows_children("d2", ["a", "b"])
+        assert not dtd.allows_children("d2", ["a", "c", "b"])
+
+
+class TestRequiredDescendants:
+    def test_figure5_d1_chain(self):
+        dtd = figure5_d1()
+        assert "c" in dtd.required_descendants("b")
+        assert {"BS", "b", "c"} <= set(dtd.required_descendants("a"))
+
+    def test_optional_children_not_required(self):
+        dtd = figure5_d2()
+        assert "x" not in dtd.required_descendants("a")
+
+    def test_implications_include_example_3_9(self):
+        implications = derive_delta_implications(figure5_d1())
+        assert DeltaImplication("b", "c") in implications
+
+
+class TestViolationDetection:
+    def test_example_3_9_rejected(self):
+        # u5 inserts <a><b></b></a>: a b without a c violates d1.
+        dtd = figure5_d1()
+        forest = parse_fragment("<a><BS><b></b></BS></a>")
+        problems = check_delta_implications(dtd, forest)
+        assert any("required c" in message for message in problems)
+
+    def test_valid_insert_passes_implications(self):
+        dtd = figure5_d1()
+        forest = parse_fragment("<b><c/></b>")
+        assert check_delta_implications(dtd, forest) == []
+
+    def test_example_3_10_sibling_constraint(self):
+        # Inserting a lone <a/> under d2 breaks (a,b,c)+ -- caught by
+        # full target revalidation.
+        dtd = figure5_d2()
+        doc = parse_document("<d2><a><BS/></a><b/><c/></d2>")
+        pul = compute_pul(doc, InsertUpdate("/d2", "<a><BS/></a>"))
+        problems = check_insert_against_dtd(dtd, pul)
+        assert problems
+        pul_ok = compute_pul(doc, InsertUpdate("/d2", "<a><BS/></a><b/><c/>"))
+        assert check_insert_against_dtd(dtd, pul_ok) == []
+
+    def test_inserted_tree_internally_invalid(self):
+        dtd = figure5_d1()
+        doc = parse_document("<d1><AS><a><BS><b><c/></b></BS></a></AS></d1>")
+        pul = compute_pul(doc, InsertUpdate("//BS", "<b><d/></b>"))
+        problems = check_insert_against_dtd(dtd, pul)
+        assert any("content model" in message for message in problems)
+
+    def test_validate_document(self):
+        dtd = figure5_d1()
+        good = parse_document("<d1><AS><a><BS><b><c/></b></BS></a></AS></d1>")
+        assert validate_document(dtd, good) == []
+        bad = parse_document("<d1><AS><a><BS><b/></BS></a></AS></d1>")
+        assert validate_document(dtd, bad)
+
+
+class TestDTDParser:
+    def test_parse_declarations(self):
+        dtd = parse_dtd(
+            "<!ELEMENT site (regions, people)>"
+            "<!ELEMENT regions (item*)>"
+            "<!ELEMENT people (person+)>"
+            "<!ELEMENT person (name, phone?)>"
+            "<!ELEMENT name (#PCDATA)>"
+        )
+        assert dtd.allows_children("site", ["regions", "people"])
+        assert dtd.allows_children("person", ["name"])
+        assert not dtd.allows_children("person", ["phone"])
+        assert "name" in dtd.required_descendants("person")
+
+    def test_parse_choice_groups(self):
+        dtd = parse_dtd("<!ELEMENT e ((a | b), c)>")
+        assert dtd.allows_children("e", ["a", "c"])
+        assert dtd.allows_children("e", ["b", "c"])
+        assert not dtd.allows_children("e", ["a", "b", "c"])
+
+    def test_mixed_connectives_rejected(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("<!ELEMENT e (a, b | c)>")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("no declarations here")

@@ -1,0 +1,110 @@
+"""Tree patterns (dialect P): structure, annotations, sub-patterns."""
+
+import pytest
+
+from repro.pattern.tree_pattern import Pattern, PatternNode, pattern_from_spec
+from tests.conftest import branch_pattern, chain_pattern
+
+
+class TestConstruction:
+    def test_names_unique_per_label(self):
+        a = PatternNode("a", axis="desc")
+        a.add_child(PatternNode("b", axis="desc"))
+        a.add_child(PatternNode("b", axis="child"))
+        pattern = Pattern(a)
+        assert pattern.node_names() == ["a#1", "b#1", "b#2"]
+
+    def test_preorder_nodes(self):
+        pattern = branch_pattern()
+        assert [n.label for n in pattern.nodes()] == ["a", "b", "c", "d"]
+
+    def test_edges(self):
+        pattern = branch_pattern()
+        edges = [(p.name, c.name) for p, c in pattern.edges()]
+        assert edges == [("a#1", "b#1"), ("b#1", "c#1"), ("a#1", "d#1")]
+
+    def test_bad_axis_rejected(self):
+        with pytest.raises(ValueError):
+            PatternNode("a", axis="sideways")
+
+    def test_from_spec(self):
+        pattern = pattern_from_spec(
+            ("a", "desc", {"id": True}, [("b", "child", {"val": True, "id": True, "pred": "5"}, [])])
+        )
+        b = pattern.node("b#1")
+        assert b.value_pred == "5"
+        assert b.store_val and b.store_id
+
+
+class TestAnnotations:
+    def test_return_columns_order(self):
+        pattern = chain_pattern("a", "b", annotate="ID")
+        pattern.node("b#1").store_val = True
+        assert pattern.return_columns() == [
+            ("a#1", "ID"),
+            ("b#1", "ID"),
+            ("b#1", "val"),
+        ]
+
+    def test_content_nodes(self):
+        pattern = chain_pattern("a", "b")
+        assert pattern.content_nodes() == []
+        pattern.node("b#1").store_cont = True
+        assert [n.name for n in pattern.content_nodes()] == ["b#1"]
+
+    def test_validate_for_maintenance_requires_id_with_cont(self):
+        pattern = chain_pattern("a", "b", annotate="")
+        pattern.node("b#1").store_cont = True
+        with pytest.raises(ValueError):
+            pattern.validate_for_maintenance()
+        pattern.node("b#1").store_id = True
+        pattern.validate_for_maintenance()
+
+    def test_with_annotations(self):
+        pattern = chain_pattern("a", "b")
+        variant = pattern.with_annotations({"a#1": ("ID",), "b#1": ("ID", "val", "cont")})
+        assert variant.node("b#1").store_cont
+        assert not variant.node("a#1").store_val
+        # original untouched
+        assert not pattern.node("b#1").store_cont
+
+
+class TestSubpattern:
+    def test_ancestor_closed_subset(self):
+        pattern = branch_pattern()
+        sub = pattern.subpattern(frozenset({"a#1", "b#1"}))
+        assert sub.node_names() == ["a#1", "b#1"]
+        assert sub.node("b#1").axis == "desc"
+
+    def test_preserves_original_names(self):
+        pattern = branch_pattern()
+        sub = pattern.subpattern(frozenset({"a#1", "d#1"}))
+        assert sub.node_names() == ["a#1", "d#1"]
+
+    def test_rejects_non_closed_subset(self):
+        pattern = branch_pattern()
+        with pytest.raises(ValueError):
+            pattern.subpattern(frozenset({"a#1", "c#1"}))
+
+    def test_rejects_missing_root(self):
+        pattern = branch_pattern()
+        with pytest.raises(ValueError):
+            pattern.subpattern(frozenset({"b#1", "c#1"}))
+
+    def test_name_collision_regression(self):
+        # Subset skipping the first occurrence of a repeated label must
+        # keep the original names (b#2), not renumber to b#1.
+        a = PatternNode("a", axis="desc")
+        a.add_child(PatternNode("b", axis="desc"))
+        a.add_child(PatternNode("b", axis="desc"))
+        pattern = Pattern(a)
+        sub = pattern.subpattern(frozenset({"a#1", "b#2"}))
+        assert sub.node_names() == ["a#1", "b#2"]
+
+
+class TestDisplay:
+    def test_to_string_mentions_annotations_and_preds(self):
+        pattern = chain_pattern("a", "b", annotate="ID")
+        pattern.node("b#1").value_pred = "5"
+        text = pattern.to_string()
+        assert "{ID}" in text and "[val=5]" in text

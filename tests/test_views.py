@@ -1,0 +1,109 @@
+"""Materialized views and the ordered tuple store."""
+
+import pytest
+
+from repro.pattern.tree_pattern import PatternNode, Pattern
+from repro.views.store import OrderedTupleStore
+from repro.views.view import MaterializedView
+from tests.conftest import chain_pattern
+
+
+class TestOrderedTupleStore:
+    def test_put_get_delete(self):
+        store = OrderedTupleStore()
+        store.put(("b",), 1)
+        store.put(("a",), 2)
+        assert store.get(("a",)) == 2
+        assert ("b",) in store
+        assert store.delete(("b",))
+        assert not store.delete(("b",))
+        assert store.get(("b",), "missing") == "missing"
+
+    def test_keys_sorted(self):
+        store = OrderedTupleStore()
+        for key in [("c",), ("a",), ("b",)]:
+            store.put(key, 0)
+        assert store.keys() == [("a",), ("b",), ("c",)]
+
+    def test_put_overwrites(self):
+        store = OrderedTupleStore()
+        store.put(("a",), 1)
+        store.put(("a",), 9)
+        assert store.get(("a",)) == 9
+        assert len(store) == 1
+
+    def test_range_scan(self):
+        store = OrderedTupleStore()
+        for index in range(5):
+            store.put((index,), index)
+        assert [k for k, _ in store.range((1,), (4,))] == [(1,), (2,), (3,)]
+        assert len(list(store.range())) == 5
+
+    def test_load_sorted_rejects_unsorted(self):
+        store = OrderedTupleStore()
+        with pytest.raises(ValueError):
+            store.load_sorted([(("b",), 1), (("a",), 1)])
+
+    def test_persistence_roundtrip(self, tmp_path):
+        store = OrderedTupleStore()
+        store.put(("a", 1), 2)
+        store.put(("b", 2), 3)
+        path = str(tmp_path / "view.db")
+        store.dump(path)
+        loaded = OrderedTupleStore.load(path)
+        assert list(loaded.items()) == list(store.items())
+
+
+class TestMaterializedView:
+    def test_materialize(self, fig2_document):
+        view = MaterializedView.materialize(chain_pattern("a", "b"), fig2_document)
+        assert len(view) == 2
+        assert view.total_derivations() == 2
+
+    def test_requires_ids_with_content(self, fig2_document):
+        pattern = chain_pattern("a", "b", annotate="")
+        pattern.node("b#1").store_cont = True
+        with pytest.raises(ValueError):
+            MaterializedView(pattern)
+
+    def test_add_and_decrement(self, fig2_document):
+        view = MaterializedView.materialize(chain_pattern("a", "b"), fig2_document)
+        row = view.rows()[0]
+        view.add(row, 2)
+        assert view.count(row) == 3
+        assert not view.decrement(row, 2)
+        assert view.decrement(row, 1)  # now gone
+        assert row not in view
+
+    def test_decrement_missing_rejected(self, fig2_document):
+        view = MaterializedView.materialize(chain_pattern("a", "b"), fig2_document)
+        row = view.rows()[0]
+        view.remove(row)
+        with pytest.raises(KeyError):
+            view.decrement(row)
+
+    def test_overdecrement_rejected(self, fig2_document):
+        view = MaterializedView.materialize(chain_pattern("a", "b"), fig2_document)
+        row = view.rows()[0]
+        with pytest.raises(ValueError):
+            view.decrement(row, 5)
+
+    def test_add_nonpositive_rejected(self, fig2_document):
+        view = MaterializedView.materialize(chain_pattern("a", "b"), fig2_document)
+        with pytest.raises(ValueError):
+            view.add(view.rows()[0], 0)
+
+    def test_replace_merges_counts(self, fig2_document):
+        view = MaterializedView.materialize(chain_pattern("a", "b"), fig2_document)
+        first, second = view.rows()
+        view.replace(first, second)
+        assert view.count(second) == 2
+        assert first not in view
+
+    def test_equals_fresh_evaluation(self, fig2_document):
+        view = MaterializedView.materialize(chain_pattern("a", "b"), fig2_document)
+        assert view.equals_fresh_evaluation(fig2_document)
+        view.remove(view.rows()[0])
+        assert not view.equals_fresh_evaluation(fig2_document)
+        diff = view.diff_against_fresh(fig2_document)
+        assert diff["wrong_or_missing"]

@@ -1,0 +1,102 @@
+"""Workloads: the XMark generator, views Q*, and the update test set."""
+
+import pytest
+
+from repro.updates.language import DeleteUpdate, InsertUpdate
+from repro.workloads.queries import VIEW_TEXTS, view_definition, view_pattern
+from repro.workloads.updates import (
+    UPDATE_CLASSES,
+    UPDATE_TEXTS,
+    VIEW_UPDATE_GROUPS,
+    delete_variant,
+    insert_update,
+)
+from repro.workloads.xmark import generate_document, generate_xml, size_of
+from repro.xmldom.parser import parse_document
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        assert generate_xml(scale=1) == generate_xml(scale=1)
+
+    def test_seed_changes_content(self):
+        assert generate_xml(scale=1, seed=1) != generate_xml(scale=1, seed=2)
+
+    def test_size_grows_with_scale(self):
+        small = size_of(generate_document(scale=1))
+        large = size_of(generate_document(scale=4))
+        assert large > 3 * small
+
+    def test_output_is_well_formed(self):
+        text = generate_xml(scale=1)
+        doc = parse_document(text)
+        assert doc.root.label == "site"
+
+    def test_vocabulary_present(self):
+        doc = generate_document(scale=1)
+        for label in ("person", "open_auction", "bidder", "increase", "item",
+                      "namerica", "name", "description", "homepage", "profile"):
+            assert doc.nodes_with_label(label), "missing %s" % label
+
+    def test_q3_and_q4_selectivities_nonempty(self):
+        doc = generate_document(scale=1)
+        increases = [n for n in doc.nodes_with_label("increase") if n.val == "4.50"]
+        assert increases
+        refs = [n for n in doc.nodes_with_label("@person") if n.val == "person12"]
+        assert refs
+
+
+class TestViews:
+    @pytest.mark.parametrize("name", sorted(VIEW_TEXTS))
+    def test_views_parse_and_are_nonempty(self, name):
+        from repro.pattern.evaluate import evaluate_view
+
+        doc = generate_document(scale=1)
+        pattern = view_pattern(name)
+        pattern.validate_for_maintenance()
+        assert evaluate_view(pattern, doc), "view %s is empty" % name
+
+    def test_view_definition_cached(self):
+        assert view_definition("Q1") is view_definition("Q1")
+
+    def test_view_pattern_fresh(self):
+        assert view_pattern("Q1") is not view_pattern("Q1")
+
+    def test_unknown_view_rejected(self):
+        with pytest.raises(KeyError):
+            view_definition("Q99")
+
+
+class TestUpdates:
+    @pytest.mark.parametrize("name", sorted(UPDATE_TEXTS))
+    def test_updates_parse_both_ways(self, name):
+        ins = insert_update(name)
+        assert isinstance(ins, InsertUpdate)
+        dele = delete_variant(name)
+        assert isinstance(dele, DeleteUpdate)
+
+    def test_classes_partition_names(self):
+        classified = [name for names in UPDATE_CLASSES.values() for name in names]
+        assert sorted(classified) == sorted(UPDATE_TEXTS)
+        for suffix, names in UPDATE_CLASSES.items():
+            for name in names:
+                assert name.endswith(suffix)
+
+    @pytest.mark.parametrize("view_name", sorted(VIEW_UPDATE_GROUPS))
+    def test_groups_have_five_updates(self, view_name):
+        assert len(VIEW_UPDATE_GROUPS[view_name]) == 5
+
+    def test_insertions_have_targets_on_generated_doc(self):
+        doc = generate_document(scale=1)
+        for name in ("X1_L", "A6_A", "A7_O", "A8_AO", "B7_LB", "X2_L"):
+            update = insert_update(name)
+            targets = update.target.evaluate(doc)
+            assert targets, "update %s matches nothing" % name
+
+    def test_five_node_insert_trees(self):
+        # The name/increase snippets insert a root plus four children
+        # (the Figure 28 setting).
+        update = insert_update("X1_L")
+        (tree,) = update.forest
+        elements = [n for n in tree.self_and_descendants() if n.kind == "element"]
+        assert len(elements) == 5

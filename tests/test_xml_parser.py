@@ -1,0 +1,123 @@
+"""XML parser and serializer: round trips and error handling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.xmldom.model import build_document, deep_copy
+from repro.xmldom.parser import XMLSyntaxError, parse_document, parse_fragment
+from repro.xmldom.serializer import escape_text, serialize, serialize_fragment
+
+
+class TestParsing:
+    def test_elements_and_text(self):
+        doc = parse_document("<a><b>hello</b><c/></a>")
+        assert doc.root.label == "a"
+        assert doc.root.val == "hello"
+
+    def test_attributes(self):
+        doc = parse_document('<a x="1" y=\'two\'/>')
+        assert doc.root.attribute("x").val == "1"
+        assert doc.root.attribute("y").val == "two"
+
+    def test_entities(self):
+        doc = parse_document("<a>&lt;&amp;&gt;&quot;&apos;&#65;&#x42;</a>")
+        assert doc.root.val == "<&>\"'AB"
+
+    def test_comments_and_pis_skipped(self):
+        doc = parse_document("<?xml version='1.0'?><!-- c --><a><!-- in -->x<?pi?></a>")
+        assert doc.root.val == "x"
+
+    def test_doctype_skipped(self):
+        doc = parse_document("<!DOCTYPE site [ <!ELEMENT a (b)> ]><a><b/></a>")
+        assert doc.root.label == "a"
+
+    def test_cdata(self):
+        doc = parse_document("<a><![CDATA[1 < 2 & 3]]></a>")
+        assert doc.root.val == "1 < 2 & 3"
+
+    def test_mismatched_tags_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse_document("<a><b></a></b>")
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse_document("<a><b>")
+
+    def test_trailing_content_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse_document("<a/><b/>")
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse_document("<a>&nope;</a>")
+
+
+class TestFragments:
+    def test_forest(self):
+        roots = parse_fragment("<a><b/></a><c/>")
+        assert [r.label for r in roots] == ["a", "c"]
+        assert all(r.parent is None for r in roots)
+
+    def test_single_tree(self):
+        (root,) = parse_fragment("<x>text</x>")
+        assert root.val == "text"
+
+    def test_empty_fragment(self):
+        assert parse_fragment("   ") == []
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        text = '<a x="1"><b>t &amp; u</b><c/></a>'
+        doc = parse_document(text)
+        assert serialize(doc, declaration=False) == text
+
+    def test_escaping(self):
+        assert escape_text("<&>") == "&lt;&amp;&gt;"
+
+    def test_attribute_escaping(self):
+        doc = parse_document('<a x="a&quot;b"/>')
+        assert 'x="a&quot;b"' in serialize(doc)
+
+    def test_pretty_print_contains_indent(self):
+        doc = parse_document("<a><b>t</b></a>")
+        assert "\n  <b>" in serialize(doc, pretty=True)
+
+    def test_declaration_toggle(self):
+        doc = parse_document("<a/>")
+        assert serialize(doc).startswith("<?xml")
+        assert serialize(doc, declaration=False) == "<a/>"
+
+
+# -- property-based round trip ------------------------------------------------
+
+_labels = st.sampled_from(["a", "b", "c", "item", "name"])
+_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126, blacklist_characters="<>&\"'"),
+    min_size=1,
+    max_size=12,
+).filter(lambda s: s.strip() == s and s.strip())
+
+
+@st.composite
+def xml_trees(draw, depth=0):
+    from repro.xmldom.model import AttributeNode, ElementNode, TextNode
+
+    label = draw(_labels)
+    element = ElementNode(label)
+    if draw(st.booleans()):
+        element.append(AttributeNode("id", draw(_text)))
+    children = draw(st.integers(0, 3 if depth < 2 else 0))
+    for _ in range(children):
+        if depth < 2 and draw(st.booleans()):
+            element.append(draw(xml_trees(depth=depth + 1)))
+        else:
+            element.append(TextNode(draw(_text)))
+    return element
+
+
+@given(xml_trees())
+def test_roundtrip_property(tree):
+    text = serialize_fragment(tree)
+    (reparsed,) = parse_fragment(text)
+    assert serialize_fragment(reparsed) == text

@@ -1,0 +1,121 @@
+"""XPath{/,//,*,[]} parsing, evaluation and pattern conversion."""
+
+import pytest
+
+from repro.pattern.xpath_parser import (
+    XPathSyntaxError,
+    evaluate_path,
+    parse_xpath,
+    path_to_pattern,
+)
+
+
+def ids(nodes):
+    return [str(n.id) for n in nodes]
+
+
+class TestParsing:
+    def test_steps_and_axes(self):
+        path = parse_xpath("/a//b/c")
+        assert [s.axis for s in path.steps] == ["child", "desc", "child"]
+        assert path.absolute
+
+    def test_relative(self):
+        path = parse_xpath("b/c")
+        assert not path.absolute
+
+    def test_wildcard_attribute_text(self):
+        path = parse_xpath("//*/@id/text()")
+        assert [s.test for s in path.steps] == ["*", "@id", "text()"]
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("/a b")
+
+    def test_empty_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("")
+
+    def test_predicate_variants_parse(self):
+        parse_xpath("//person[phone and homepage]")
+        parse_xpath("//person[phone or homepage]")
+        parse_xpath("//person[address and (phone or homepage) and (creditcard or profile)]")
+        parse_xpath("//person[@id = 'person0']")
+        parse_xpath("//person[profile/@income]")
+
+    def test_conjunctive_detection(self):
+        assert parse_xpath("//a[b and c]").is_conjunctive()
+        assert not parse_xpath("//a[b or c]").is_conjunctive()
+
+
+class TestEvaluation:
+    def test_absolute_child_anchors_at_root(self, people_document):
+        assert ids(evaluate_path("/site/people", people_document)) == ["site1.people1"]
+        assert evaluate_path("/people", people_document) == []
+
+    def test_descendant_axis(self, people_document):
+        assert len(evaluate_path("//name", people_document)) == 3
+
+    def test_wildcard_step(self, people_document):
+        out = evaluate_path("/site/*/person", people_document)
+        assert len(out) == 3
+
+    def test_attribute_step(self, people_document):
+        out = evaluate_path("/site/people/person/@id", people_document)
+        assert [n.val for n in out] == ["person0", "person1", "person2"]
+
+    def test_existence_predicate(self, people_document):
+        out = evaluate_path("//person[homepage]", people_document)
+        assert [n.attribute("id").val for n in out] == ["person0", "person2"]
+
+    def test_and_or_predicates(self, people_document):
+        both = evaluate_path("//person[phone and homepage]", people_document)
+        assert len(both) == 1
+        either = evaluate_path("//person[phone or homepage]", people_document)
+        assert len(either) == 2
+
+    def test_value_comparison(self, people_document):
+        out = evaluate_path("//person[name = 'Ann']", people_document)
+        assert len(out) == 2
+
+    def test_attribute_comparison(self, people_document):
+        out = evaluate_path("//person[@id = 'person1']", people_document)
+        assert len(out) == 1
+
+    def test_nested_predicate_path(self, people_document):
+        out = evaluate_path("//person[profile/@income]", people_document)
+        assert len(out) == 1
+
+    def test_results_in_document_order_and_deduped(self, people_document):
+        out = evaluate_path("//person", people_document)
+        assert ids(out) == sorted(ids(out))
+
+    def test_text_step(self, people_document):
+        out = evaluate_path("//name/text()", people_document)
+        assert sorted(n.val for n in out) == ["Ann", "Ann", "Bob"]
+
+
+class TestPatternConversion:
+    def test_linear_path(self):
+        pattern = path_to_pattern("/site/people/person")
+        assert [n.label for n in pattern.nodes()] == ["site", "people", "person"]
+        assert pattern.node("person#1").store_id
+
+    def test_predicates_become_branches(self):
+        pattern = path_to_pattern("//person[profile/@income]/name")
+        labels = [n.label for n in pattern.nodes()]
+        assert labels == ["person", "profile", "@income", "name"]
+        assert pattern.node("name#1").store_id
+
+    def test_value_predicate_lands_on_leaf(self):
+        pattern = path_to_pattern("//person[@id = 'p0']")
+        assert pattern.node("@id#1").value_pred == "p0"
+
+    def test_annotation_choice(self):
+        pattern = path_to_pattern("//a/b", annotate_last=("ID", "val", "cont"))
+        b = pattern.node("b#1")
+        assert b.store_id and b.store_val and b.store_cont
+
+    def test_disjunction_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            path_to_pattern("//a[b or c]")

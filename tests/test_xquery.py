@@ -1,0 +1,108 @@
+"""The conjunctive XQuery view dialect of Figure 3."""
+
+import pytest
+
+from repro.pattern.xquery import XQuerySyntaxError, parse_view
+
+
+class TestParsing:
+    def test_figure3_sample_view(self):
+        # The sample view of Figure 3 (confs/paper/affiliation).
+        view = parse_view(
+            'for $p in doc("confs")//confs//paper, $a in $p/affiliation '
+            "return <result><pid>{id($p)}</pid><aid>{id($a)}</aid>"
+            "<acont>{$a}</acont></result>"
+        )
+        pattern = view.pattern
+        assert [n.label for n in pattern.nodes()] == ["confs", "paper", "affiliation"]
+        paper = pattern.node("paper#1")
+        affiliation = pattern.node("affiliation#1")
+        assert paper.store_id
+        assert affiliation.store_id and affiliation.store_cont
+        assert view.uri == "confs"
+        assert view.result_label == "result"
+        assert [(item.node_name, item.kind) for item in view.items] == [
+            ("paper#1", "ID"),
+            ("affiliation#1", "ID"),
+            ("affiliation#1", "cont"),
+        ]
+
+    def test_let_clause_sets_uri(self):
+        view = parse_view(
+            'let $c := doc("auction.xml") return for $p in $c/site/people '
+            "return <r><x>{id($p)}</x></r>"
+        )
+        assert view.uri == "auction.xml"
+        assert view.pattern.root.label == "site"
+
+    def test_relative_variable_chains(self):
+        view = parse_view(
+            'for $a in doc("d")/x, $b in $a/y, $c in $b//z '
+            "return <r><i>{id($c)}</i></r>"
+        )
+        z = view.pattern.node("z#1")
+        assert z.axis == "desc"
+        assert z.parent.label == "y"
+
+    def test_where_string_equality(self):
+        view = parse_view(
+            'for $a in doc("d")/x, $b in $a/y where string($b) = "5" '
+            "return <r><i>{id($a)}</i></r>"
+        )
+        assert view.pattern.node("y#1").value_pred == "5"
+
+    def test_where_path_comparison_grafts_branch(self):
+        view = parse_view(
+            'for $a in doc("d")/x where $a/y/@k = "v" return <r><i>{id($a)}</i></r>'
+        )
+        assert view.pattern.node("@k#1").value_pred == "v"
+
+    def test_where_existence(self):
+        view = parse_view(
+            'for $a in doc("d")/x where $a/y return <r><i>{id($a)}</i></r>'
+        )
+        assert "y#1" in view.pattern.node_names()
+
+    def test_bare_return_list(self):
+        view = parse_view(
+            'for $i in doc("d")/x/item return $i/name/text(), $i/description'
+        )
+        name = view.pattern.node("name#1")
+        description = view.pattern.node("description#1")
+        assert name.store_val and name.store_id
+        assert description.store_cont and description.store_id
+
+    def test_string_return_implies_id(self):
+        view = parse_view(
+            'for $a in doc("d")/x return <r><v>{string($a)}</v></r>'
+        )
+        node = view.pattern.node("x#1")
+        assert node.store_val and node.store_id
+
+    def test_predicate_in_for_path(self):
+        view = parse_view(
+            'for $p in doc("d")/site/people/person[@id] '
+            "return <r><n>{id($p)}</n></r>"
+        )
+        assert "@id#1" in view.pattern.node_names()
+
+
+class TestErrors:
+    def test_missing_for(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_view('let $c := doc("d") return <r/>')
+
+    def test_missing_return(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_view('for $a in doc("d")/x where string($a) = "1"')
+
+    def test_unknown_variable(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_view('for $a in $b/x return <r><i>{id($a)}</i></r>')
+
+    def test_unsupported_where(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_view(
+                'for $a in doc("d")/x where contains($a, "y") '
+                "return <r><i>{id($a)}</i></r>"
+            )
