@@ -1,0 +1,145 @@
+"""Hot-path index regression benchmark (not a paper figure).
+
+Measures end-to-end update propagation -- document apply + maintenance
+of σ-predicate views -- on a 10k+ node XMark document, against a
+*seed-path* configuration that reinstates the original quadratic
+behaviour: per-node key-list rebuilds in the canonical-relation index
+and uncached ``val``/``cont``/σ evaluation.  The indexed path must be
+at least ``MIN_SPEEDUP``× faster, and every maintained view must still
+equal fresh re-evaluation after the full update sequence.
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+
+from repro.maintenance.engine import MaintenanceEngine
+from repro.workloads.queries import view_pattern
+from repro.workloads.updates import delete_variant, insert_update
+from repro.workloads.xmark import generate_document
+from repro.xmldom.model import set_hot_path_caches
+
+SCALE = 6  # ~10.8k nodes, comfortably past the 10k floor
+VIEWS = ("Q1", "Q3", "Q4")  # Q3/Q4 carry σ value predicates
+MIN_SPEEDUP = 5.0
+
+#: update-heavy sequence: bulk inserts into bidders/people, then a
+#: sweeping delete, then more inserts (names are Appendix A entries).
+UPDATE_SEQUENCE = (
+    ("insert", "X2_L"),
+    ("insert", "B3_LB"),
+    ("insert", "X1_L"),
+    ("delete", "X2_L"),
+    ("insert", "X3_A"),
+    ("insert", "A6_A"),
+)
+
+
+class _SeedLabelIndex:
+    """The seed's canonical-relation index, kept verbatim for baseline
+    measurement: ``add``/``remove`` rebuild the full per-label key list
+    on every call (the quadratic hot path this PR removes)."""
+
+    def __init__(self, rows):
+        self._by_label = rows
+
+    def labels(self):
+        return iter(self._by_label)
+
+    def nodes(self, label):
+        return self._by_label.get(label, [])
+
+    def add(self, node):
+        row = self._by_label.setdefault(node.label, [])
+        keys = [n.id for n in row]
+        position = bisect.bisect(keys, node.id)
+        row.insert(position, node)
+
+    def remove(self, node):
+        row = self._by_label.get(node.label)
+        if not row:
+            return
+        keys = [n.id for n in row]
+        position = bisect.bisect_left(keys, node.id)
+        if position < len(row) and row[position] is node:
+            row.pop(position)
+
+    def add_bulk(self, nodes):
+        for node in nodes:
+            self._by_label.setdefault(node.label, []).append(node)
+        for row in self._by_label.values():
+            row.sort(key=lambda n: n.id)
+
+    def copy_label(self, label):
+        return list(self._by_label.get(label, []))
+
+
+def _statements():
+    return [
+        insert_update(name) if kind == "insert" else delete_variant(name)
+        for kind, name in UPDATE_SEQUENCE
+    ]
+
+
+def _build_engine(seed_path: bool) -> MaintenanceEngine:
+    document = generate_document(scale=SCALE)
+    assert document.size_in_nodes() >= 10_000
+    if seed_path:
+        from repro.xmldom.index import ValueIndex
+
+        rows = {label: list(document.nodes_with_label(label)) for label in document.labels()}
+        document._index = _SeedLabelIndex(rows)
+        # Rebind the value index to the swapped-in index so lookups
+        # could never read the orphaned original (caches are off in
+        # seed mode, but don't leave the trap armed).
+        document._values = ValueIndex(document._index)
+    engine = MaintenanceEngine(document)
+    for name in VIEWS:
+        engine.register_view(view_pattern(name), name)
+    return engine
+
+
+def _propagate_all(engine: MaintenanceEngine) -> float:
+    started = time.perf_counter()
+    for statement in _statements():
+        engine.apply_update(statement)
+    return time.perf_counter() - started
+
+
+def _run(seed_path: bool) -> float:
+    previous = set_hot_path_caches(not seed_path)
+    try:
+        engine = _build_engine(seed_path)
+        elapsed = _propagate_all(engine)
+        for name in VIEWS:
+            assert engine.views[name].view.equals_fresh_evaluation(engine.document), (
+                "maintained view %s diverged (seed_path=%s)" % (name, seed_path)
+            )
+        return elapsed
+    finally:
+        set_hot_path_caches(previous)
+
+
+def test_hotpath_index_speedup(save_table):
+    indexed = min(_run(seed_path=False) for _ in range(2))
+    seed = _run(seed_path=True)
+    speedup = seed / indexed
+    save_table(
+        "hotpath_index.txt",
+        "Hot-path index: update propagation, scale %d (%d statements)\n"
+        "seed-path %.3fs  indexed %.3fs  speedup %.1fx (floor %.1fx)"
+        % (SCALE, len(UPDATE_SEQUENCE), seed, indexed, speedup, MIN_SPEEDUP),
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        "hot-path indexing regressed: %.1fx < %.1fx (seed %.3fs, indexed %.3fs)"
+        % (speedup, MIN_SPEEDUP, seed, indexed)
+    )
+
+
+def test_hotpath_representative_propagation(benchmark):
+    engine = _build_engine(seed_path=False)
+    statement = insert_update("X2_L")
+    benchmark.pedantic(lambda: engine.apply_update(statement), rounds=3)
+    for name in VIEWS:
+        assert engine.views[name].view.equals_fresh_evaluation(engine.document)

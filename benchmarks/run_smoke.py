@@ -1,0 +1,127 @@
+"""Benchmark smoke gate: reduced Fig-18/19 configuration.
+
+Runs a minimal insert/delete propagation matrix (views Q1 and Q3,
+single-target statements derived from X1_L / X2_L at a small scale),
+verifies every maintained extent against recomputation, and compares
+propagation time against the full-recompute baseline of Section 6.5.
+
+Emits ``benchmarks/out/BENCH_hotpath.json`` -- a trajectory file with
+one entry per (view, kind) cell plus the aggregate speedup -- and
+exits non-zero if the maintenance-vs-recompute speedup falls below
+``SPEEDUP_FLOOR``.
+
+The seed measured ~5x on this configuration; the floor is set well
+below that so timing noise never trips the gate, while a genuine
+asymptotic regression (maintenance going O(document) again) lands far
+under it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from repro.baselines.recompute import full_recompute
+from repro.maintenance.engine import MaintenanceEngine
+from repro.updates.language import ResolvedDeleteUpdate, ResolvedInsertUpdate
+from repro.updates.pul import compute_pul
+from repro.views.lattice import SnowcapLattice
+from repro.workloads.queries import view_pattern
+from repro.workloads.updates import insert_update
+from repro.workloads.xmark import generate_document
+
+SCALE = 3
+REPEATS = 3
+SPEEDUP_FLOOR = 2.0
+OUT_PATH = os.path.join(os.path.dirname(__file__), "out", "BENCH_hotpath.json")
+
+#: view -> the Appendix-A statement its single-target updates derive from.
+CELLS = (("Q1", "X1_L"), ("Q3", "X2_L"))
+
+
+def _measure_cell(view_name: str, base_update: str, kind: str) -> dict:
+    """One (view, kind) cell: propagation vs recompute seconds (min of
+    REPEATS fresh runs), with the maintained extent verified each run."""
+    propagation = recompute = float("inf")
+    for _ in range(REPEATS):
+        document = generate_document(scale=SCALE)
+        engine = MaintenanceEngine(document)
+        registered = engine.register_view(view_pattern(view_name), view_name)
+        base = insert_update(base_update)
+        target_id = compute_pul(document, base).inserts()[0].target.id
+        if kind == "insert":
+            statement = ResolvedInsertUpdate([target_id], base.forest, name="smoke")
+        else:
+            statement = ResolvedDeleteUpdate([target_id], name="smoke")
+        report = engine.apply_update(statement)
+        view_report = report.report_for(view_name)
+        if not registered.view.equals_fresh_evaluation(document):
+            raise AssertionError(
+                "maintained view %s diverged (%s)" % (view_name, kind)
+            )
+        propagation = min(
+            propagation,
+            view_report.phases.total() - view_report.phases.find_target_nodes,
+        )
+        _, recompute_seconds = full_recompute(
+            registered.pattern, document, SnowcapLattice(registered.pattern)
+        )
+        recompute = min(recompute, recompute_seconds)
+    return {
+        "view": view_name,
+        "kind": kind,
+        "base_update": base_update,
+        "propagation_s": round(propagation, 6),
+        "recompute_s": round(recompute, 6),
+        "ratio": round(recompute / propagation, 3),
+    }
+
+
+def main() -> int:
+    rows = []
+    total_propagation = total_recompute = 0.0
+    for view_name, base_update in CELLS:
+        for kind in ("insert", "delete"):
+            row = _measure_cell(view_name, base_update, kind)
+            rows.append(row)
+            total_propagation += row["propagation_s"]
+            total_recompute += row["recompute_s"]
+            print(
+                "%-4s %-6s  propagation %8.3fms  recompute %8.3fms  ratio %5.1fx"
+                % (
+                    row["view"],
+                    row["kind"],
+                    row["propagation_s"] * 1000,
+                    row["recompute_s"] * 1000,
+                    row["ratio"],
+                )
+            )
+    speedup = total_recompute / total_propagation
+    passed = speedup >= SPEEDUP_FLOOR
+    trajectory = {
+        "config": {"scale": SCALE, "repeats": REPEATS, "cells": list(CELLS)},
+        "trajectory": rows,
+        "propagation_s": round(total_propagation, 6),
+        "recompute_s": round(total_recompute, 6),
+        "speedup": round(speedup, 3),
+        "floor": SPEEDUP_FLOOR,
+        "passed": passed,
+    }
+    os.makedirs(os.path.dirname(OUT_PATH), exist_ok=True)
+    with open(OUT_PATH, "w") as handle:
+        json.dump(trajectory, handle, indent=2)
+        handle.write("\n")
+    print(
+        "maintenance-vs-recompute speedup %.2fx (floor %.1fx) -> %s  [%s]"
+        % (speedup, SPEEDUP_FLOOR, "PASS" if passed else "FAIL", OUT_PATH)
+    )
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

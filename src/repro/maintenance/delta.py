@@ -52,9 +52,16 @@ class DeltaTables:
 
 
 def _extract_for_pattern(pattern: Pattern, candidates: Sequence[Node]) -> Dict[str, List[Node]]:
+    # Bucket the candidate set by label once, so each pattern node only
+    # σ-filters its own label's bucket instead of re-walking the whole
+    # candidate list (patterns share labels across nodes).
+    by_label: Dict[str, List[Node]] = {}
+    for candidate in candidates:
+        by_label.setdefault(candidate.label, []).append(candidate)
     tables: Dict[str, List[Node]] = {}
     for node in pattern.nodes():
-        matches = filter_by_predicate(candidates, node)
+        pool = candidates if node.label == "*" else by_label.get(node.label, [])
+        matches = filter_by_predicate(pool, node)
         matches.sort(key=lambda n: n.id)
         tables[node.name] = matches
     return tables

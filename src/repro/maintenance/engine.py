@@ -242,12 +242,16 @@ class MaintenanceEngine:
                 candidates: List[Node] = sorted(
                     self.document.all_elements(), key=lambda n: n.id
                 )
+                rows = filter_by_predicate(candidates, node)
+            elif node.value_pred is not None:
+                # σ-constant selection via the document's value index.
+                rows = self.document.nodes_with_value(node.label, node.value_pred)
             else:
                 candidates = self.document.nodes_with_label(node.label)
-                if node.value_pred is None and node.label not in excluded_labels:
+                if node.label not in excluded_labels:
                     sources[node.name] = candidates
                     continue
-            rows = filter_by_predicate(candidates, node)
+                rows = candidates
             if excluded_ids:
                 rows = [n for n in rows if n.id not in excluded_ids]
             sources[node.name] = rows
@@ -450,25 +454,43 @@ class MaintenanceEngine:
         target_ids: Sequence[DeweyID],
         excluded_ids: Optional[set] = None,
     ) -> List[Tuple[DeweyID, str, bool]]:
-        """Snapshot (node, constant, satisfied) for flippable σ nodes."""
+        """Snapshot (node, constant, satisfied) for flippable σ nodes.
+
+        Only ancestors-or-self of the update targets can have their
+        ``val`` flipped by the update, and the Dewey scheme encodes the
+        whole ancestor chain in each target's ID -- so the watchlist is
+        built from O(#targets × depth) ID-derived candidates instead of
+        scanning every node of every σ label.
+        """
         watch: List[Tuple[DeweyID, str, bool]] = []
         if not target_ids:
             return watch
-        for node in pattern.nodes():
-            if node.value_pred is None:
-                continue
-            candidates = (
-                sorted(self.document.all_elements(), key=lambda n: n.id)
-                if node.label == "*"
-                else self.document.nodes_with_label(node.label)
-            )
-            for candidate in candidates:
-                if excluded_ids and candidate.id in excluded_ids:
+        sigma_nodes = [node for node in pattern.nodes() if node.value_pred is not None]
+        if not sigma_nodes:
+            return watch
+        seen: set = set()
+        chain: List[Node] = []
+        for target in target_ids:
+            for candidate_id in list(target.ancestor_ids()) + [target]:
+                if candidate_id in seen:
                     continue
-                if any(candidate.id.is_ancestor_or_self(t) for t in target_ids):
-                    watch.append(
-                        (candidate.id, node.value_pred, candidate.val == node.value_pred)
-                    )
+                seen.add(candidate_id)
+                if excluded_ids and candidate_id in excluded_ids:
+                    continue
+                candidate = self.document.node_by_id(candidate_id)
+                if candidate is not None:
+                    chain.append(candidate)
+        chain.sort(key=lambda n: n.id)
+        for node in sigma_nodes:
+            for candidate in chain:
+                if node.label == "*":
+                    if candidate.kind != "element":
+                        continue
+                elif candidate.label != node.label:
+                    continue
+                watch.append(
+                    (candidate.id, node.value_pred, candidate.val == node.value_pred)
+                )
         return watch
 
     def _watch_changed(self, watch: List[Tuple[DeweyID, str, bool]]) -> bool:

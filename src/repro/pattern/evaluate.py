@@ -12,7 +12,10 @@ to canonical relations ``R`` and others to Δ tables.
 Sources are plain document-ordered node lists per pattern-node name.
 Value predicates (σ) are applied when sources are drawn
 (:func:`sources_from_document`), mirroring the paper's
-``σ_a(R_a ∪ Δ+_a)`` selection push-down.
+``σ_a(R_a ∪ Δ+_a)`` selection push-down; σ-constant selections over
+named labels resolve through the document's value index
+(:meth:`~repro.xmldom.model.Document.nodes_with_value`) rather than
+scanning and re-deriving ``val`` for the whole canonical relation.
 """
 
 from __future__ import annotations
@@ -31,12 +34,14 @@ Sources = Dict[str, List[Node]]
 def _node_source(document: Document, node: PatternNode) -> List[Node]:
     if node.label == "*":
         matches: List[Node] = sorted(document.all_elements(), key=lambda n: n.id)
-    else:
-        matches = list(document.nodes_with_label(node.label))
+        if node.value_pred is not None:
+            constant = node.value_pred
+            matches = [m for m in matches if m.val == constant]
+        return matches
     if node.value_pred is not None:
-        constant = node.value_pred
-        matches = [m for m in matches if m.val == constant]
-    return matches
+        # σ-constant selection: an index lookup, not a relation scan.
+        return document.nodes_with_value(node.label, node.value_pred)
+    return list(document.nodes_with_label(node.label))
 
 
 def filter_by_predicate(nodes: Sequence[Node], node: PatternNode) -> List[Node]:

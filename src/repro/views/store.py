@@ -63,7 +63,16 @@ class OrderedTupleStore:
     # -- scans ---------------------------------------------------------------
 
     def items(self) -> Iterator[Tuple[Any, Any]]:
-        return iter(list(zip(self._keys, self._values)))
+        """Lazy in-order scan over the live store (no copy).
+
+        Callers that mutate the store while consuming the iterator must
+        use :meth:`snapshot` instead.
+        """
+        return zip(self._keys, self._values)
+
+    def snapshot(self) -> List[Tuple[Any, Any]]:
+        """Materialized copy of :meth:`items`, immune to later updates."""
+        return list(zip(self._keys, self._values))
 
     def keys(self) -> List[Any]:
         return list(self._keys)

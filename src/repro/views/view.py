@@ -36,8 +36,9 @@ class MaterializedView:
         """Evaluate the pattern on the document and store the result."""
         view = cls(pattern, name=name)
         content = evaluate_view(pattern, document)
-        for row, count in sorted(content, key=lambda item: item[0]):
-            view._store.put(row, count)
+        # Distinct rows sorted by key: bulk-load in one pass instead of
+        # O(n²) per-row sorted inserts.
+        view._store.load_sorted(sorted(content, key=lambda item: item[0]))
         return view
 
     # -- reads ----------------------------------------------------------------
@@ -56,8 +57,12 @@ class MaterializedView:
         return sum(count for _, count in self._store.items())
 
     def content(self) -> List[Tuple[ViewTuple, int]]:
-        """Distinct tuples with counts, in key (document) order."""
-        return list(self._store.items())
+        """Distinct tuples with counts, in key (document) order.
+
+        A snapshot: safe to iterate while mutating the view (PIMT/PDMT
+        rewrite tuples mid-scan).
+        """
+        return self._store.snapshot()
 
     def rows(self) -> List[ViewTuple]:
         return self._store.keys()

@@ -130,6 +130,51 @@ def _decode_varint(data: bytes, offset: int) -> Tuple[int, int]:
     return value, offset
 
 
+class _PaddedKey:
+    """Document-order sort key with explicit zero-padding semantics.
+
+    Used instead of the plain pair tuple for IDs whose ordinals carry a
+    negative component past index 0: the ordinal generators never
+    produce such ordinals, but direct construction and :meth:`DeweyID.
+    decode` accept them, and for them Python's tuple prefix rule
+    disagrees with the padded comparison.  Comparisons against plain
+    tuple keys work through reflected operators (tuple returns
+    NotImplemented for non-tuple operands).
+    """
+
+    __slots__ = ("pairs",)
+
+    def __init__(self, pairs):
+        self.pairs = pairs
+
+    def _cmp(self, other) -> int:
+        other_pairs = other.pairs if isinstance(other, _PaddedKey) else other
+        for (oa, la), (ob, lb) in zip(self.pairs, other_pairs):
+            cmp = ordinal_compare(oa, ob)
+            if cmp:
+                return cmp
+            if la != lb:
+                return -1 if la < lb else 1
+        if len(self.pairs) == len(other_pairs):
+            return 0
+        return -1 if len(self.pairs) < len(other_pairs) else 1
+
+    def __lt__(self, other) -> bool:
+        return self._cmp(other) < 0
+
+    def __le__(self, other) -> bool:
+        return self._cmp(other) <= 0
+
+    def __gt__(self, other) -> bool:
+        return self._cmp(other) > 0
+
+    def __ge__(self, other) -> bool:
+        return self._cmp(other) >= 0
+
+    def __eq__(self, other) -> bool:
+        return self._cmp(other) == 0
+
+
 class DeweyID:
     """A structural node identifier: a tuple of ``(label, ordinal)`` steps.
 
@@ -138,7 +183,7 @@ class DeweyID:
     dynamic ordinals).
     """
 
-    __slots__ = ("steps", "_hash")
+    __slots__ = ("steps", "_hash", "_key")
 
     def __init__(self, steps: Sequence[Tuple[str, Sequence[int]]]):
         if not steps:
@@ -146,6 +191,20 @@ class DeweyID:
         self.steps: Tuple[Tuple[str, Ordinal], ...] = tuple(
             (label, _normalize(ordinal)) for label, ordinal in steps
         )
+        # Precomputed document-order key: plain tuple comparison over
+        # (ordinal, label) pairs matches the padded ordinal comparison
+        # of _compare because normalized ordinals carry no trailing
+        # zeros and the ordinal generators only ever produce negative
+        # values in an ordinal's *first* component (so a proper prefix
+        # always zero-pads to something <= its extensions).  Comparing
+        # via this key keeps the hot sorts/bisects in C.  IDs built
+        # from out-of-band ordinals violating that invariant fall back
+        # to a padded-semantics key object.
+        pairs = tuple((ordinal, label) for label, ordinal in self.steps)
+        if any(part < 0 for ordinal, _ in pairs for part in ordinal[1:]):
+            self._key = _PaddedKey(pairs)
+        else:
+            self._key = pairs
         self._hash = hash(self.steps)
 
     # -- construction -------------------------------------------------
@@ -217,6 +276,7 @@ class DeweyID:
     # -- ordering ------------------------------------------------------
 
     def _compare(self, other: "DeweyID") -> int:
+        """Reference comparison (the definition _key is derived from)."""
         for (la, oa), (lb, ob) in zip(self.steps, other.steps):
             cmp = ordinal_compare(oa, ob)
             if cmp:
@@ -231,16 +291,16 @@ class DeweyID:
         return -1 if len(self.steps) < len(other.steps) else 1
 
     def __lt__(self, other: "DeweyID") -> bool:
-        return self._compare(other) < 0
+        return self._key < other._key
 
     def __le__(self, other: "DeweyID") -> bool:
-        return self._compare(other) <= 0
+        return self._key <= other._key
 
     def __gt__(self, other: "DeweyID") -> bool:
-        return self._compare(other) > 0
+        return self._key > other._key
 
     def __ge__(self, other: "DeweyID") -> bool:
-        return self._compare(other) >= 0
+        return self._key >= other._key
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, DeweyID) and self.steps == other.steps

@@ -1,0 +1,214 @@
+"""Hot-path indexes over a document's canonical relations.
+
+The maintenance pipeline's asymptotics (each update touches Δ-sized
+data, Section 6) depend on three per-update costs staying sublinear in
+the document size:
+
+* keeping every ``R_a`` (label → document-ordered node list) sorted
+  under subtree insertion/deletion,
+* answering σ-constant selections ``σ_{val=c}(R_a)`` without scanning
+  and re-deriving every node's string value,
+* re-deriving ``val``/``cont`` only for nodes whose text content
+  actually changed.
+
+This module provides the first two as index structures; the third is
+the memoized ``val``/``cont`` cache on the node classes
+(:mod:`repro.xmldom.model`), whose invalidation walk feeds
+:class:`ValueIndex`.
+
+Invariants
+----------
+
+:class:`LabelIndex`
+    For every label, ``_nodes[label]`` and ``_keys[label]`` are
+    parallel lists sorted by :class:`~repro.xmldom.dewey.DeweyID`;
+    ``_keys[label][i] is _nodes[label][i].id``-equal at all times.
+    ``add``/``remove`` are one bisect over the maintained key list
+    plus one list shift -- never a full key-list rebuild.
+
+:class:`ValueIndex`
+    Entries exist only for labels that have been queried at least once
+    (σ predicates name few labels).  Within an entry, every *live*
+    node of the label is either bucketed under the string value it had
+    when last flushed (``_indexed``) or queued in ``_dirty``; lookups
+    flush the dirty set first, so a returned bucket always reflects
+    current ``val``s.  Buckets are document-ordered (parallel sorted
+    key lists, as above).  Consistency relies on the document calling
+    ``on_add`` / ``on_remove`` for every node entering/leaving the
+    document and ``on_val_change`` for every element whose text
+    descendants changed (the same ancestor walk that invalidates the
+    ``val`` cache).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterator, List, Sequence
+
+_ABSENT = object()
+
+
+class LabelIndex:
+    """Per-label canonical relation ``R_a`` with incremental upkeep."""
+
+    __slots__ = ("_nodes", "_keys")
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, List[Any]] = {}
+        self._keys: Dict[str, List[Any]] = {}
+
+    def labels(self) -> Iterator[str]:
+        return iter(self._nodes)
+
+    def nodes(self, label: str) -> List[Any]:
+        """The live document-ordered row of ``label`` (do not mutate)."""
+        return self._nodes.get(label, [])
+
+    def copy_label(self, label: str) -> List[Any]:
+        return list(self._nodes.get(label, ()))
+
+    def add(self, node: Any) -> None:
+        """O(log n) bisect + O(n) shift; no key-list rebuild.
+
+        Mirrors _ValueEntry._insert/_unbucket deliberately: this is the
+        hottest call in the system, and a shared sorted-row helper
+        would add a Python-level indirection per inserted node.  Keep
+        the two in sync when touching either.
+        """
+        label = node.label
+        row = self._nodes.get(label)
+        if row is None:
+            self._nodes[label] = [node]
+            self._keys[label] = [node.id]
+            return
+        keys = self._keys[label]
+        position = bisect.bisect(keys, node.id)
+        keys.insert(position, node.id)
+        row.insert(position, node)
+
+    def remove(self, node: Any) -> None:
+        row = self._nodes.get(node.label)
+        if not row:
+            return
+        keys = self._keys[node.label]
+        position = bisect.bisect_left(keys, node.id)
+        if position < len(row) and row[position] is node:
+            keys.pop(position)
+            row.pop(position)
+
+    def add_bulk(self, nodes: Sequence[Any]) -> None:
+        """Bulk insertion; only labels that received nodes are re-sorted."""
+        touched = set()
+        for node in nodes:
+            self._nodes.setdefault(node.label, []).append(node)
+            touched.add(node.label)
+        for label in touched:
+            row = self._nodes[label]
+            row.sort(key=lambda n: n.id)
+            self._keys[label] = [n.id for n in row]
+
+
+class _ValueEntry:
+    """One label's value buckets: val → document-ordered nodes."""
+
+    __slots__ = ("_keys", "_nodes", "_indexed", "_dirty")
+
+    def __init__(self, nodes: Sequence[Any]):
+        self._keys: Dict[str, List[Any]] = {}
+        self._nodes: Dict[str, List[Any]] = {}
+        #: node → the value it is currently bucketed under.
+        self._indexed: Dict[Any, str] = {}
+        #: nodes whose bucket may be stale (insertion-ordered set).
+        self._dirty: Dict[Any, None] = {}
+        for node in nodes:  # already document-ordered: plain appends
+            value = node.val
+            self._keys.setdefault(value, []).append(node.id)
+            self._nodes.setdefault(value, []).append(node)
+            self._indexed[node] = value
+
+    def _insert(self, node: Any, value: str) -> None:
+        # Same parallel keys/nodes discipline as LabelIndex.add/remove
+        # (duplicated on purpose -- see the note there).
+        keys = self._keys.get(value)
+        if keys is None:
+            self._keys[value] = [node.id]
+            self._nodes[value] = [node]
+        else:
+            position = bisect.bisect(keys, node.id)
+            keys.insert(position, node.id)
+            self._nodes[value].insert(position, node)
+        self._indexed[node] = value
+
+    def _unbucket(self, node: Any) -> None:
+        value = self._indexed.pop(node, _ABSENT)
+        if value is _ABSENT:
+            return
+        keys = self._keys[value]
+        position = bisect.bisect_left(keys, node.id)
+        row = self._nodes[value]
+        if position < len(row) and row[position] is node:
+            keys.pop(position)
+            row.pop(position)
+        if not row:
+            # Drop emptied buckets so memory tracks live values, not
+            # every value ever seen.
+            del self._keys[value]
+            del self._nodes[value]
+
+    def mark(self, node: Any) -> None:
+        self._dirty[node] = None
+
+    def discard(self, node: Any) -> None:
+        self._dirty.pop(node, None)
+        self._unbucket(node)
+
+    def lookup(self, value: str) -> List[Any]:
+        if self._dirty:
+            for node in self._dirty:
+                current = node.val
+                if self._indexed.get(node, _ABSENT) == current:
+                    continue
+                self._unbucket(node)
+                self._insert(node, current)
+            self._dirty.clear()
+        return list(self._nodes.get(value, ()))
+
+
+class ValueIndex:
+    """Lazy per-label value index over the canonical relations.
+
+    ``lookup(label, value)`` returns the document-ordered nodes of
+    ``label`` whose current ``val`` equals ``value`` -- the σ-constant
+    selection of :func:`repro.pattern.evaluate.sources_from_document` --
+    in O(#dirty + #matches) instead of O(|R_label| · |subtree|).
+    """
+
+    __slots__ = ("_label_index", "_entries")
+
+    def __init__(self, label_index: LabelIndex):
+        self._label_index = label_index
+        self._entries: Dict[str, _ValueEntry] = {}
+
+    def lookup(self, label: str, value: str) -> List[Any]:
+        entry = self._entries.get(label)
+        if entry is None:
+            entry = _ValueEntry(self._label_index.nodes(label))
+            self._entries[label] = entry
+        return entry.lookup(value)
+
+    # -- document notifications (cheap no-ops for untracked labels) -----
+
+    def on_add(self, node: Any) -> None:
+        entry = self._entries.get(node.label)
+        if entry is not None:
+            entry.mark(node)
+
+    def on_remove(self, node: Any) -> None:
+        entry = self._entries.get(node.label)
+        if entry is not None:
+            entry.discard(node)
+
+    def on_val_change(self, node: Any) -> None:
+        entry = self._entries.get(node.label)
+        if entry is not None:
+            entry.mark(node)

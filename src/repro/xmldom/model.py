@@ -8,7 +8,22 @@ A :class:`Document` additionally maintains, for every label ``a``, the
 paper's *virtual canonical relation* ``R_a``: the document-ordered list
 of ``a``-labeled nodes, from which ``(ID, val, cont)`` tuples are drawn
 by the algebra layer.  The index is kept consistent under subtree
-insertion and deletion.
+insertion and deletion with O(log n) bisects per node
+(:class:`repro.xmldom.index.LabelIndex`), and a lazily built per-label
+value index (:class:`repro.xmldom.index.ValueIndex`) answers σ-constant
+selections (:meth:`Document.nodes_with_value`) without scanning.
+
+Elements memoize ``val`` and ``cont``.  The caches are invalidated by
+the document's update choke points (:meth:`Document.insert_subtree` /
+:meth:`Document.delete_subtree`) walking the target's ancestor chain:
+``cont`` on every structural change, ``val`` only when the moved
+subtree contains text; the same walk feeds the value index's dirty
+set.  Invariant: a set ``val`` cache implies no un-notified text
+change anywhere in the element's subtree (every change clears the
+whole chain above it).  :func:`set_hot_path_caches` turns the
+memoization and indexed σ lookups off for seed-equivalent baseline
+measurements; invalidation bookkeeping keeps running while disabled,
+so re-enabling is always safe.
 
 Conventions:
 
@@ -22,9 +37,9 @@ Conventions:
 
 from __future__ import annotations
 
-import bisect
 from typing import Dict, Iterator, List, Optional, Sequence
 
+from repro.xmldom.index import LabelIndex, ValueIndex
 from repro.xmldom.dewey import (
     DeweyID,
     Ordinal,
@@ -35,6 +50,29 @@ from repro.xmldom.dewey import (
 )
 
 TEXT_LABEL = "#text"
+
+_USE_HOT_PATH_CACHES = True
+
+
+def set_hot_path_caches(enabled: bool) -> bool:
+    """Toggle val/cont memoization and indexed σ lookups; returns the
+    previous setting.  Benchmarks and regression tests use this to
+    compare the indexed hot path against seed-equivalent recomputation;
+    cache invalidation keeps running while disabled, so flipping the
+    switch mid-session never yields stale reads."""
+    global _USE_HOT_PATH_CACHES
+    previous = _USE_HOT_PATH_CACHES
+    _USE_HOT_PATH_CACHES = bool(enabled)
+    return previous
+
+
+def fresh_val(node: "Node") -> str:
+    """``val`` recomputed from the tree, bypassing any memoized value."""
+    if isinstance(node, ElementNode):
+        parts: List[str] = []
+        node._collect_text(parts)
+        return "".join(parts)
+    return node.val
 
 
 class Node:
@@ -125,15 +163,26 @@ class AttributeNode(Node):
 
 
 class ElementNode(Node):
-    """An element with an ordered child list (attributes come first)."""
+    """An element with an ordered child list (attributes come first).
 
-    __slots__ = ("children",)
+    ``val`` and ``cont`` are memoized; the owning document invalidates
+    the caches along the ancestor chain of every subtree change (see
+    the module docstring for the invariant).  Detached construction
+    (:meth:`append` / :meth:`set_attribute`) needs no invalidation:
+    attached-tree mutations must go through the document's
+    ``insert_subtree`` / ``delete_subtree``, which deep-copy their
+    input and therefore never see pre-populated caches.
+    """
+
+    __slots__ = ("children", "_val_cache", "_cont_cache")
 
     kind = "element"
 
     def __init__(self, label: str, children: Sequence[Node] = ()):
         super().__init__(label)
         self.children: List[Node] = []
+        self._val_cache: Optional[str] = None
+        self._cont_cache: Optional[str] = None
         for child in children:
             self.append(child)
 
@@ -184,10 +233,37 @@ class ElementNode(Node):
 
     @property
     def val(self) -> str:
-        """XPath string value: concatenated text descendants in order."""
-        parts: List[str] = []
-        self._collect_text(parts)
-        return "".join(parts)
+        """XPath string value: concatenated text descendants in order.
+
+        Memoized via the children's caches, so recomputation after an
+        invalidation costs only the dirty chain, not the full subtree.
+        """
+        if not _USE_HOT_PATH_CACHES:
+            return fresh_val(self)
+        cached = self._val_cache
+        if cached is None:
+            pieces: List[str] = []
+            for child in self.children:
+                if child.kind == "text":
+                    pieces.append(child.text)  # type: ignore[attr-defined]
+                elif child.kind == "element":
+                    pieces.append(child.val)
+            cached = "".join(pieces)
+            self._val_cache = cached
+        return cached
+
+    @property
+    def cont(self) -> str:
+        """Serialized XML image of the subtree, memoized."""
+        from repro.xmldom.serializer import serialize_fragment
+
+        if not _USE_HOT_PATH_CACHES:
+            return serialize_fragment(self)
+        cached = self._cont_cache
+        if cached is None:
+            cached = serialize_fragment(self)
+            self._cont_cache = cached
+        return cached
 
     def _collect_text(self, parts: List[str]) -> None:
         for child in self.children:
@@ -210,50 +286,14 @@ def deep_copy(node: Node) -> Node:
     return clone
 
 
-class _LabelIndex:
-    """Per-label canonical relation ``R_a``: document-ordered node lists."""
-
-    def __init__(self) -> None:
-        self._by_label: Dict[str, List[Node]] = {}
-
-    def labels(self) -> Iterator[str]:
-        return iter(self._by_label)
-
-    def nodes(self, label: str) -> List[Node]:
-        return self._by_label.get(label, [])
-
-    def add(self, node: Node) -> None:
-        row = self._by_label.setdefault(node.label, [])
-        keys = [n.id for n in row]
-        position = bisect.bisect(keys, node.id)
-        row.insert(position, node)
-
-    def add_bulk(self, nodes: Sequence[Node]) -> None:
-        for node in nodes:
-            self._by_label.setdefault(node.label, []).append(node)
-        for row in self._by_label.values():
-            row.sort(key=lambda n: n.id)
-
-    def remove(self, node: Node) -> None:
-        row = self._by_label.get(node.label)
-        if not row:
-            return
-        keys = [n.id for n in row]
-        position = bisect.bisect_left(keys, node.id)
-        if position < len(row) and row[position] is node:
-            row.pop(position)
-
-    def copy_label(self, label: str) -> List[Node]:
-        return list(self._by_label.get(label, []))
-
-
 class Document:
     """A rooted XML document with structural IDs and canonical relations."""
 
     def __init__(self, root: ElementNode, uri: str = "doc.xml"):
         self.uri = uri
         self.root = root
-        self._index = _LabelIndex()
+        self._index = LabelIndex()
+        self._values = ValueIndex(self._index)
         self._by_id: Dict[DeweyID, Node] = {}
         # IDs of deleted nodes are *retired*, never reissued: node
         # identity is immutable (XDM) and the Dewey scheme guarantees
@@ -292,6 +332,13 @@ class Document:
     def snapshot_label(self, label: str) -> List[Node]:
         """A copy of ``R_label``, immune to subsequent updates."""
         return self._index.copy_label(label)
+
+    def nodes_with_value(self, label: str, constant: str) -> List[Node]:
+        """σ-constant selection ``σ_{val=constant}(R_label)`` via the
+        value index (document-ordered, fresh list)."""
+        if not _USE_HOT_PATH_CACHES:
+            return [n for n in self._index.nodes(label) if n.val == constant]
+        return self._values.lookup(label, constant)
 
     def all_elements(self) -> Iterator[ElementNode]:
         for node in self.root.self_and_descendants():
@@ -364,9 +411,14 @@ class Document:
                     new_nodes.append(child)
                     if isinstance(child, ElementNode):
                         stack.append(child)
+        text_changed = False
         for node in new_nodes:
             self._index.add(node)
             self._by_id[node.id] = node
+            self._values.on_add(node)
+            if node.kind == "text":
+                text_changed = True
+        self._invalidate_ancestors(parent, text_changed)
         return clone
 
     def delete_subtree(self, node: Node) -> List[Node]:
@@ -380,13 +432,34 @@ class Document:
             raise ValueError("cannot delete the document root")
         removed = list(node.self_and_descendants())
         removed.sort(key=lambda n: n.id)
+        text_changed = False
         for gone in removed:
             self._index.remove(gone)
             self._by_id.pop(gone.id, None)
             self._retired_ids.add(gone.id)
-        node.parent.children.remove(node)
+            self._values.on_remove(gone)
+            if gone.kind == "text":
+                text_changed = True
+        parent = node.parent
+        parent.children.remove(node)
         node.parent = None
+        self._invalidate_ancestors(parent, text_changed)
         return removed
+
+    def _invalidate_ancestors(self, element: Optional[ElementNode], text_changed: bool) -> None:
+        """Clear memoized val/cont along the ancestor chain of a change.
+
+        ``cont`` changes for every structural change; ``val`` only when
+        the moved subtree contained text, in which case the value index
+        is told to re-bucket the affected elements on its next lookup.
+        """
+        walk = element
+        while walk is not None:
+            walk._cont_cache = None
+            if text_changed:
+                walk._val_cache = None
+                self._values.on_val_change(walk)
+            walk = walk.parent
 
     def __repr__(self) -> str:
         return "Document(uri=%r, root=%r)" % (self.uri, self.root.label)

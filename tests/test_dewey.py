@@ -160,3 +160,85 @@ class TestEncoding:
     def test_str_rendering(self):
         node = make_id(("a", (1,)), ("c", (1,)), ("b", (1,)))
         assert str(node) == "a1.c1.b1"
+
+
+class TestSortKeyEquivalence:
+    """The precomputed _key must order exactly like the reference
+    _compare; its derivation rests on the generator invariant that
+    ordinals never carry a negative component past index 0."""
+
+    @given(st.data())
+    def test_key_matches_reference_compare(self, data):
+        def random_ordinal(draw, depth):
+            # Ordinals as the generators produce them: start from an
+            # initial/before/after seed, then squeeze with between.
+            seed = draw(st.integers(-4, 6))
+            ordinal = (seed,)
+            for _ in range(draw(st.integers(0, depth))):
+                ordinal = ordinal_between(ordinal, ordinal_after(ordinal))
+            return ordinal
+
+        def random_id(draw):
+            steps = []
+            for _ in range(draw(st.integers(1, 4))):
+                label = draw(st.sampled_from(["a", "b", "c"]))
+                steps.append((label, random_ordinal(draw, 2)))
+            return DeweyID(steps)
+
+        a = random_id(data.draw)
+        b = random_id(data.draw)
+        reference = a._compare(b)
+        assert (a < b) == (reference < 0)
+        assert (a == b) == (reference == 0)
+        assert (a > b) == (reference > 0)
+
+    def test_generators_never_negative_past_first_component(self):
+        frontier = [(-2,), (0,), (1,), ordinal_initial(3)]
+        for _ in range(4):
+            produced = []
+            for ordinal in frontier:
+                produced.append(ordinal_after(ordinal))
+                produced.append(ordinal_before(ordinal))
+                produced.append(ordinal_between(ordinal, ordinal_after(ordinal)))
+                produced.append(
+                    ordinal_between(ordinal_before(ordinal), ordinal)
+                )
+            for ordinal in produced:
+                assert all(part >= 0 for part in ordinal[1:]), ordinal
+            frontier = produced[:8]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b"]),
+                st.lists(st.integers(-3, 3), min_size=1, max_size=3),
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b"]),
+                st.lists(st.integers(-3, 3), min_size=1, max_size=3),
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+    )
+    def test_exotic_ordinals_fall_back_to_padded_semantics(self, left, right):
+        # Direct construction / decode() accept ordinals with negative
+        # components past index 0; ordering must still match _compare.
+        a = DeweyID([(label, tuple(ordinal)) for label, ordinal in left])
+        b = DeweyID([(label, tuple(ordinal)) for label, ordinal in right])
+        reference = a._compare(b)
+        assert (a < b) == (reference < 0), (a, b)
+        assert (a > b) == (reference > 0), (a, b)
+        assert (a <= b) == (reference <= 0), (a, b)
+        assert (a >= b) == (reference >= 0), (a, b)
+
+    def test_prefix_of_negative_tail_orders_after_it(self):
+        a = make_id(("a", (1,)))
+        b = make_id(("a", (1, -1)))
+        # Zero-padding: (1,) reads as (1, 0, ...) which exceeds (1, -1).
+        assert a._compare(b) > 0
+        assert a > b and b < a and sorted([a, b]) == [b, a]

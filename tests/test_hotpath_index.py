@@ -1,0 +1,215 @@
+"""Unit tests for the hot-path indexing layer (repro.xmldom.index).
+
+The invariants under test:
+
+* LabelIndex rows stay document-ordered under interleaved add/remove
+  and equal a brute-force sorted rebuild;
+* add_bulk leaves labels that received no nodes untouched;
+* ValueIndex lookups (Document.nodes_with_value) always equal the
+  brute-force σ-constant scan, across inserts, deletes and text-driven
+  val changes;
+* element val/cont memoization is invalidated precisely along the
+  ancestor chain of every subtree change;
+* OrderedTupleStore.items() scans lazily while snapshot() is immune to
+  subsequent mutation.
+"""
+
+import random
+
+import pytest
+
+from repro.views.store import OrderedTupleStore
+from repro.xmldom.index import LabelIndex
+from repro.xmldom.model import fresh_val, set_hot_path_caches
+from repro.xmldom.parser import parse_document
+from repro.xmldom.serializer import serialize_fragment
+
+
+class _FakeNode:
+    __slots__ = ("label", "id")
+
+    def __init__(self, label, key):
+        self.label = label
+        self.id = key
+
+
+class TestLabelIndex:
+    def test_random_add_remove_matches_sorted_rebuild(self):
+        rng = random.Random(7)
+        index = LabelIndex()
+        live = []
+        for step in range(400):
+            if live and rng.random() < 0.4:
+                node = live.pop(rng.randrange(len(live)))
+                index.remove(node)
+            else:
+                node = _FakeNode(rng.choice("abc"), (rng.random(), step))
+                live.append(node)
+                index.add(node)
+            for label in "abc":
+                expected = sorted(
+                    (n for n in live if n.label == label), key=lambda n: n.id
+                )
+                assert index.nodes(label) == expected
+
+    def test_remove_absent_node_is_noop(self):
+        index = LabelIndex()
+        index.add(_FakeNode("a", 1))
+        index.remove(_FakeNode("a", 2))
+        index.remove(_FakeNode("z", 1))
+        assert len(index.nodes("a")) == 1
+
+    def test_add_bulk_sorts_only_touched_labels(self):
+        index = LabelIndex()
+        index.add_bulk([_FakeNode("a", 2), _FakeNode("a", 1), _FakeNode("b", 5)])
+        assert [n.id for n in index.nodes("a")] == [1, 2]
+        untouched_row = index.nodes("b")
+        index.add_bulk([_FakeNode("a", 0)])
+        assert [n.id for n in index.nodes("a")] == [0, 1, 2]
+        # The 'b' row was not rebuilt or re-sorted.
+        assert index.nodes("b") is untouched_row
+        # Incremental adds still land correctly after a bulk load.
+        index.add(_FakeNode("b", 3))
+        assert [n.id for n in index.nodes("b")] == [3, 5]
+
+    def test_copy_label_is_detached(self):
+        index = LabelIndex()
+        node = _FakeNode("a", 1)
+        index.add(node)
+        copied = index.copy_label("a")
+        index.remove(node)
+        assert copied == [node]
+        assert index.nodes("a") == []
+
+
+def _brute_force_sigma(document, label, constant):
+    return [n for n in document.nodes_with_label(label) if fresh_val(n) == constant]
+
+
+class TestValueIndex:
+    def test_lookup_equals_scan_and_tracks_updates(self):
+        doc = parse_document("<r><a>x</a><a>y</a><b><a>x</a></b></r>")
+        assert doc.nodes_with_value("a", "x") == _brute_force_sigma(doc, "a", "x")
+        # Insert another matching subtree: the index must see it.
+        b = doc.nodes_with_label("b")[0]
+        doc.insert_subtree(b, parse_document("<a>x</a>").root)
+        assert doc.nodes_with_value("a", "x") == _brute_force_sigma(doc, "a", "x")
+        # Delete one: gone from the index.
+        doc.delete_subtree(doc.nodes_with_label("a")[0])
+        assert doc.nodes_with_value("a", "x") == _brute_force_sigma(doc, "a", "x")
+
+    def test_text_insert_rebuckets_ancestors(self):
+        doc = parse_document("<r><a>x</a></r>")
+        a = doc.nodes_with_label("a")[0]
+        assert [n.id for n in doc.nodes_with_value("a", "x")] == [a.id]
+        # Appending text under <a> flips its val from "x" to "xy".
+        doc.insert_subtree(a, parse_document("<w>y</w>").root.children[0])
+        assert doc.nodes_with_value("a", "x") == []
+        assert [n.id for n in doc.nodes_with_value("a", "xy")] == [a.id]
+
+    def test_empty_string_values_are_indexed(self):
+        doc = parse_document("<r><a/><a>x</a></r>")
+        empties = doc.nodes_with_value("a", "")
+        assert [fresh_val(n) for n in empties] == [""]
+
+    def test_lookup_results_are_document_ordered_copies(self):
+        doc = parse_document("<r><a>x</a><a>x</a><a>x</a></r>")
+        first = doc.nodes_with_value("a", "x")
+        assert first == sorted(first, key=lambda n: n.id)
+        first.clear()  # mutating the returned list must not corrupt the index
+        assert len(doc.nodes_with_value("a", "x")) == 3
+
+    def test_random_update_sequences(self):
+        rng = random.Random(20110322)
+        doc = parse_document(
+            "<r>" + "".join("<a>%s</a>" % rng.choice("xy") for _ in range(8)) + "</r>"
+        )
+        for step in range(60):
+            labels = list(doc.labels())
+            if rng.random() < 0.5:
+                candidates = [
+                    n
+                    for n in doc.root.self_and_descendants()
+                    if n is not doc.root and n.kind == "element"
+                ]
+                if candidates:
+                    doc.delete_subtree(rng.choice(candidates))
+            else:
+                parents = [
+                    n
+                    for n in doc.root.self_and_descendants()
+                    if n.kind == "element"
+                ]
+                snippet = "<a>%s</a>" % rng.choice(("x", "y", "", "<a>x</a>"))
+                doc.insert_subtree(rng.choice(parents), parse_document(snippet).root)
+            for constant in ("x", "y", "xx", ""):
+                assert doc.nodes_with_value("a", constant) == _brute_force_sigma(
+                    doc, "a", constant
+                ), (step, constant)
+
+
+class TestValContCaches:
+    def test_val_cached_and_invalidated_along_ancestors(self):
+        doc = parse_document("<r><a>x<b>y</b></a><c>z</c></r>")
+        root, a = doc.root, doc.nodes_with_label("a")[0]
+        assert root.val == "xyz"
+        b = doc.nodes_with_label("b")[0]
+        doc.insert_subtree(b, parse_document("<w>q</w>").root.children[0])
+        assert root.val == "xyqz"
+        assert a.val == "xyq"
+        assert a.val == fresh_val(a)
+
+    def test_cont_invalidated_by_element_only_insert(self):
+        doc = parse_document("<r><a>x</a></r>")
+        a = doc.nodes_with_label("a")[0]
+        before = a.cont
+        doc.insert_subtree(a, parse_document("<e/>").root)
+        assert a.cont != before
+        assert a.cont == serialize_fragment(a)
+        assert a.val == "x"  # element-only insert leaves val untouched
+
+    def test_delete_invalidates_survivors(self):
+        doc = parse_document("<r><a>x<b>y</b></a></r>")
+        a = doc.nodes_with_label("a")[0]
+        assert a.val == "xy"
+        doc.delete_subtree(doc.nodes_with_label("b")[0])
+        assert a.val == "x"
+        assert a.cont == serialize_fragment(a)
+        assert doc.root.val == "x"
+
+    def test_toggle_disables_memoization_but_stays_correct(self):
+        previous = set_hot_path_caches(False)
+        try:
+            doc = parse_document("<r><a>x</a></r>")
+            a = doc.nodes_with_label("a")[0]
+            assert a.val == "x"
+            assert doc.nodes_with_value("a", "x") == [a]
+            doc.insert_subtree(a, parse_document("<w>y</w>").root.children[0])
+            assert a.val == "xy"
+            assert doc.nodes_with_value("a", "xy") == [a]
+        finally:
+            set_hot_path_caches(previous)
+
+
+class TestStoreScans:
+    def test_items_is_lazy(self):
+        store = OrderedTupleStore()
+        for key in (1, 2, 3):
+            store.put(key, key * 10)
+        scan = store.items()
+        assert not isinstance(scan, list)
+        assert list(scan) == [(1, 10), (2, 20), (3, 30)]
+
+    def test_snapshot_immune_to_updates(self):
+        store = OrderedTupleStore()
+        store.put(1, "a")
+        frozen = store.snapshot()
+        store.put(0, "z")
+        store.delete(1)
+        assert frozen == [(1, "a")]
+        assert list(store.items()) == [(0, "z")]
+
+    def test_load_sorted_rejects_unsorted(self):
+        store = OrderedTupleStore()
+        with pytest.raises(ValueError):
+            store.load_sorted([(2, "b"), (1, "a")])

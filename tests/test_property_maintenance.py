@@ -4,6 +4,11 @@ for random documents, random conjunctive views and random update
 statements, incremental maintenance must coincide with re-evaluating
 the view on the updated document -- tuples *and* derivation counts --
 and the materialized snowcaps must equal their fresh evaluations.
+
+The hot-path indexing layer adds two more invariants: memoized
+``val``/``cont`` always equal fresh recomputation after arbitrary
+insert/delete sequences, and maintenance results are byte-identical
+with the indexes on and off.
 """
 
 import random
@@ -14,6 +19,8 @@ from repro.maintenance.engine import MaintenanceEngine
 from repro.pattern.evaluate import evaluate_bindings
 from repro.pattern.tree_pattern import Pattern, PatternNode
 from repro.updates.language import DeleteUpdate, InsertUpdate
+from repro.updates.pul import apply_pul, compute_pul
+from repro.xmldom.model import fresh_val, set_hot_path_caches
 from repro.xmldom.parser import parse_document
 from repro.xmldom.serializer import serialize_fragment
 
@@ -105,9 +112,16 @@ def test_optimized_sequences_equal_plain(seed):
     resolved before any operation runs; both sides of the comparison
     therefore resolve every statement's targets on the original
     document, and the optimized side additionally reduces.
+
+    View contents are compared with IDs canonicalized to preorder
+    positions: dynamic Dewey *ordinals* are assignment-history
+    dependent (an insert next to a later-cancelled sibling picks a
+    different gap), so the reduced sequence is only required to
+    produce the same document and the same view modulo ordinal
+    encoding -- not bit-identical IDs.
     """
     from repro.updates.language import ResolvedDeleteUpdate, ResolvedInsertUpdate
-    from repro.updates.pul import compute_pul
+    from repro.xmldom.dewey import DeweyID
 
     rng = random.Random(seed)
     text = serialize_fragment(_random_document(rng).root)
@@ -136,9 +150,96 @@ def test_optimized_sequences_equal_plain(seed):
         registered = engine.register_view(view, "v")
         engine.apply_sequence(resolve(doc), optimize=optimize)
         assert registered.view.equals_fresh_evaluation(doc), (seed, optimize)
-        return registered.view.content(), serialize_fragment(doc.root)
+        position = {
+            node.id: index
+            for index, node in enumerate(doc.root.self_and_descendants())
+        }
+        content = [
+            (
+                tuple(
+                    position[cell] if isinstance(cell, DeweyID) else cell
+                    for cell in row
+                ),
+                count,
+            )
+            for row, count in registered.view.content()
+        ]
+        return content, serialize_fragment(doc.root)
 
     plain_content, plain_doc = run(False)
     opt_content, opt_doc = run(True)
     assert plain_doc == opt_doc
     assert plain_content == opt_content
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_value_caches_equal_fresh_recomputation(seed):
+    """Memoized val/cont match cache-free recomputation after arbitrary
+    insert/delete sequences, with caches warmed between updates so any
+    missed invalidation would surface as a stale read."""
+    rng = random.Random(seed)
+    doc = _random_document(rng)
+    for _ in range(rng.randint(2, 5)):
+        # Warm a random sample of caches (and the value index).
+        for node in doc.root.self_and_descendants():
+            if rng.random() < 0.5:
+                node.val
+            if rng.random() < 0.2 and node.kind == "element":
+                node.cont
+        for label in ("a", "b"):
+            doc.nodes_with_value(label, rng.choice(("x", "y", "")))
+        update = _random_update(rng)
+        targets = update.target.evaluate(doc)
+        if update.kind == "insert" and any(
+            not hasattr(t, "children") for t in targets
+        ):
+            continue
+        apply_pul(doc, compute_pul(doc, update))
+        for node in doc.root.self_and_descendants():
+            assert node.val == fresh_val(node), (seed, update, node)
+            if node.kind == "element":
+                assert node.cont == serialize_fragment(node), (seed, update, node)
+        for label in ("a", "b", "c", "d"):
+            for constant in ("x", "y", "xy", ""):
+                expected = [
+                    n
+                    for n in doc.nodes_with_label(label)
+                    if fresh_val(n) == constant
+                ]
+                assert doc.nodes_with_value(label, constant) == expected, (
+                    seed,
+                    update,
+                    label,
+                    constant,
+                )
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_maintenance_identical_with_and_without_indexes(seed):
+    """The indexed hot path is an optimization, not a semantics change:
+    maintained extents and the updated document are byte-identical with
+    the caches/value-index on and off."""
+
+    def run(enabled):
+        previous = set_hot_path_caches(enabled)
+        try:
+            rng = random.Random(seed)
+            doc = _random_document(rng)
+            engine = MaintenanceEngine(doc)
+            registered = engine.register_view(_random_view(rng), "v")
+            for _ in range(rng.randint(1, 3)):
+                update = _random_update(rng)
+                targets = update.target.evaluate(doc)
+                if update.kind == "insert" and any(
+                    not hasattr(t, "children") for t in targets
+                ):
+                    continue
+                engine.apply_update(update)
+            assert registered.view.equals_fresh_evaluation(doc), (seed, enabled)
+            return registered.view.content(), serialize_fragment(doc.root)
+        finally:
+            set_hot_path_caches(previous)
+
+    assert run(True) == run(False)
