@@ -2,13 +2,18 @@
 
 Runs a minimal insert/delete propagation matrix (views Q1 and Q3,
 single-target statements derived from X1_L / X2_L at a small scale),
-verifies every maintained extent against recomputation, and compares
-propagation time against the full-recompute baseline of Section 6.5.
+verifies every maintained extent against recomputation, compares
+propagation time against the full-recompute baseline of Section 6.5,
+and checks the batch pipeline invariant: a mixed statement stream
+propagated as one ``UpdateBatch`` must leave extents byte-identical to
+sequential per-statement application.
 
-Emits ``benchmarks/out/BENCH_hotpath.json`` -- a trajectory file with
-one entry per (view, kind) cell plus the aggregate speedup -- and
-exits non-zero if the maintenance-vs-recompute speedup falls below
-``SPEEDUP_FLOOR``.
+Appends one run entry -- keyed by git SHA + timestamp -- to the
+trajectory list in ``benchmarks/out/BENCH_hotpath.json`` (CI trend
+tracking: the file accumulates across runs instead of being
+overwritten), and exits non-zero if the maintenance-vs-recompute
+speedup falls below ``SPEEDUP_FLOOR`` or the batch equivalence check
+fails.
 
 The seed measured ~5x on this configuration; the floor is set well
 below that so timing noise never trips the gate, while a genuine
@@ -22,22 +27,25 @@ Usage::
 
 from __future__ import annotations
 
+import datetime
 import json
 import os
+import subprocess
 import sys
 
 from repro.baselines.recompute import full_recompute
-from repro.maintenance.engine import MaintenanceEngine
-from repro.updates.language import ResolvedDeleteUpdate, ResolvedInsertUpdate
+from repro.maintenance.engine import BatchEngine, MaintenanceEngine
+from repro.updates.language import ResolvedDeleteUpdate, ResolvedInsertUpdate, UpdateBatch
 from repro.updates.pul import compute_pul
 from repro.views.lattice import SnowcapLattice
 from repro.workloads.queries import view_pattern
-from repro.workloads.updates import insert_update
+from repro.workloads.updates import insert_update, statement_stream
 from repro.workloads.xmark import generate_document
 
 SCALE = 3
 REPEATS = 3
 SPEEDUP_FLOOR = 2.0
+BATCH_STREAM_LENGTH = 16
 OUT_PATH = os.path.join(os.path.dirname(__file__), "out", "BENCH_hotpath.json")
 
 #: view -> the Appendix-A statement its single-target updates derive from.
@@ -82,6 +90,81 @@ def _measure_cell(view_name: str, base_update: str, kind: str) -> dict:
     }
 
 
+def _git_sha() -> str:
+    try:
+        return (
+            subprocess.check_output(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=os.path.dirname(os.path.abspath(__file__)),
+                stderr=subprocess.DEVNULL,
+            )
+            .decode()
+            .strip()
+        )
+    except Exception:
+        return "unknown"
+
+
+def _check_batch_equivalence() -> dict:
+    """Batch == sequential on a mixed stream (part of the smoke gate)."""
+    views = ("Q1", "Q3")
+    stream = statement_stream(
+        generate_document(scale=SCALE), BATCH_STREAM_LENGTH, seed=11, insert_ratio=0.7
+    )
+    sequential_doc = generate_document(scale=SCALE)
+    sequential = MaintenanceEngine(sequential_doc)
+    sequential_views = {
+        name: sequential.register_view(view_pattern(name), name) for name in views
+    }
+    for statement in stream:
+        sequential.apply_update(statement)
+    batch_doc = generate_document(scale=SCALE)
+    batched = BatchEngine(batch_doc)
+    batched_views = {
+        name: batched.register_view(view_pattern(name), name) for name in views
+    }
+    report = batched.apply(UpdateBatch(stream))
+    equal = all(
+        sequential_views[name].view.content() == batched_views[name].view.content()
+        and batched_views[name].view.equals_fresh_evaluation(batch_doc)
+        for name in views
+    )
+    return {
+        "statements": BATCH_STREAM_LENGTH,
+        "views": list(views),
+        "net_inserted": report.net_inserted,
+        "net_removed": report.net_removed,
+        "fallbacks": dict(report.fallbacks),
+        "extents_identical": equal,
+    }
+
+
+def _append_run(run: dict) -> None:
+    """Append one run entry to the trajectory file (never overwrite).
+
+    Pre-trajectory files (a single run dict) are migrated into the
+    first entry of the new ``runs`` list.
+    """
+    history: dict = {"runs": []}
+    if os.path.exists(OUT_PATH):
+        try:
+            with open(OUT_PATH) as handle:
+                existing = json.load(handle)
+        except (OSError, ValueError):
+            existing = None
+        if isinstance(existing, dict):
+            if isinstance(existing.get("runs"), list):
+                history = existing
+            elif existing:
+                existing.setdefault("git_sha", "pre-trajectory")
+                history["runs"] = [existing]
+    history["runs"].append(run)
+    os.makedirs(os.path.dirname(OUT_PATH), exist_ok=True)
+    with open(OUT_PATH, "w") as handle:
+        json.dump(history, handle, indent=2)
+        handle.write("\n")
+
+
 def main() -> int:
     rows = []
     total_propagation = total_recompute = 0.0
@@ -102,20 +185,28 @@ def main() -> int:
                 )
             )
     speedup = total_recompute / total_propagation
-    passed = speedup >= SPEEDUP_FLOOR
-    trajectory = {
+    batch_check = _check_batch_equivalence()
+    passed = speedup >= SPEEDUP_FLOOR and batch_check["extents_identical"]
+    run = {
+        "git_sha": _git_sha(),
+        "timestamp": datetime.datetime.now().isoformat(timespec="seconds"),
         "config": {"scale": SCALE, "repeats": REPEATS, "cells": list(CELLS)},
         "trajectory": rows,
         "propagation_s": round(total_propagation, 6),
         "recompute_s": round(total_recompute, 6),
         "speedup": round(speedup, 3),
         "floor": SPEEDUP_FLOOR,
+        "batch_equivalence": batch_check,
         "passed": passed,
     }
-    os.makedirs(os.path.dirname(OUT_PATH), exist_ok=True)
-    with open(OUT_PATH, "w") as handle:
-        json.dump(trajectory, handle, indent=2)
-        handle.write("\n")
+    _append_run(run)
+    print(
+        "batch-vs-sequential extents on %d mixed statements -> %s"
+        % (
+            batch_check["statements"],
+            "IDENTICAL" if batch_check["extents_identical"] else "DIVERGED",
+        )
+    )
     print(
         "maintenance-vs-recompute speedup %.2fx (floor %.1fx) -> %s  [%s]"
         % (speedup, SPEEDUP_FLOOR, "PASS" if passed else "FAIL", OUT_PATH)

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.maintenance.delta import DeltaTables
+from repro.maintenance.insert import refresh_stored_attributes
 from repro.maintenance.terms import (
     Term,
     evaluate_term,
@@ -143,31 +144,4 @@ def pdmt(
     target (the target's subtree vanished from under it) -- again an
     ID-only structural test.  Returns the number of rewritten tuples.
     """
-    pattern = view.pattern
-    cvn = pattern.content_nodes()
-    if not cvn or not doomed_target_ids:
-        return 0
-    columns = pattern.return_columns()
-    column_index = {pair: i for i, pair in enumerate(columns)}
-    replacements: List[Tuple[tuple, tuple]] = []
-    for row, _count in view.content():
-        new_row = None
-        for node in cvn:
-            id_index = column_index[(node.name, "ID")]
-            stored_id: DeweyID = row[id_index]
-            if not any(stored_id.is_ancestor_of(target) for target in doomed_target_ids):
-                continue
-            doc_node = document.node_by_id(stored_id)
-            if doc_node is None:
-                continue  # the stored node itself went away with the subtree
-            if new_row is None:
-                new_row = list(row)
-            if node.store_val:
-                new_row[column_index[(node.name, "val")]] = doc_node.val
-            if node.store_cont:
-                new_row[column_index[(node.name, "cont")]] = doc_node.cont
-        if new_row is not None and tuple(new_row) != row:
-            replacements.append((row, tuple(new_row)))
-    for old_row, fresh_row in replacements:
-        view.replace(old_row, fresh_row)
-    return len(replacements)
+    return refresh_stored_attributes(view, document, (), doomed_target_ids)

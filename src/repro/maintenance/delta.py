@@ -51,20 +51,58 @@ class DeltaTables:
         return "DeltaTables(Δ%s, %r)" % (self.sign, sizes)
 
 
-def _extract_for_pattern(pattern: Pattern, candidates: Sequence[Node]) -> Dict[str, List[Node]]:
-    # Bucket the candidate set by label once, so each pattern node only
-    # σ-filters its own label's bucket instead of re-walking the whole
-    # candidate list (patterns share labels across nodes).
-    by_label: Dict[str, List[Node]] = {}
-    for candidate in candidates:
-        by_label.setdefault(candidate.label, []).append(candidate)
+class BatchCandidates:
+    """Label-bucketed Δ candidates, built once and shared across views.
+
+    The per-statement pipeline bucketed the inserted/doomed node set by
+    label once *per view*; batching lifts the bucketing out so one
+    sorted, label-indexed candidate set serves every registered view's
+    σ-filtering (the candidates are view-independent -- only the σ
+    push-down is per view).
+    """
+
+    __slots__ = ("nodes", "by_label")
+
+    def __init__(self, nodes: Sequence[Node]):
+        self.nodes: List[Node] = sorted(nodes, key=lambda n: n.id)
+        self.by_label: Dict[str, List[Node]] = {}
+        for node in self.nodes:
+            self.by_label.setdefault(node.label, []).append(node)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        return "BatchCandidates(%d nodes, %d labels)" % (
+            len(self.nodes),
+            len(self.by_label),
+        )
+
+
+def _extract_for_pattern(pattern: Pattern, candidates: BatchCandidates) -> Dict[str, List[Node]]:
+    # Each pattern node σ-filters its own label's bucket instead of
+    # re-walking the whole candidate list (patterns share labels across
+    # nodes); buckets are document-ordered already.
     tables: Dict[str, List[Node]] = {}
     for node in pattern.nodes():
-        pool = candidates if node.label == "*" else by_label.get(node.label, [])
-        matches = filter_by_predicate(pool, node)
-        matches.sort(key=lambda n: n.id)
-        tables[node.name] = matches
+        pool = candidates.nodes if node.label == "*" else candidates.by_label.get(node.label, [])
+        tables[node.name] = filter_by_predicate(pool, node)
     return tables
+
+
+def delta_from_candidates(
+    pattern: Pattern, candidates: BatchCandidates, sign: str
+) -> DeltaTables:
+    """σ-filter a shared candidate set into one view's Δ tables."""
+    return DeltaTables(pattern, _extract_for_pattern(pattern, candidates), sign)
+
+
+def insert_candidates(inserted_roots: Sequence[Node]) -> BatchCandidates:
+    """Candidate set of freshly inserted subtrees (document order)."""
+    nodes: List[Node] = []
+    for root in inserted_roots:
+        nodes.extend(root.self_and_descendants())
+    return BatchCandidates(nodes)
 
 
 def compute_delta_plus(pattern: Pattern, inserted_roots: Sequence[Node]) -> DeltaTables:
@@ -73,15 +111,12 @@ def compute_delta_plus(pattern: Pattern, inserted_roots: Sequence[Node]) -> Delt
     ``inserted_roots`` are the copies produced by *apply-insert*, so
     their nodes already carry the Dewey IDs assigned in the document.
     """
-    candidates: List[Node] = []
-    for root in inserted_roots:
-        candidates.extend(root.self_and_descendants())
-    return DeltaTables(pattern, _extract_for_pattern(pattern, candidates), "+")
+    return delta_from_candidates(pattern, insert_candidates(inserted_roots), "+")
 
 
 def compute_delta_minus(pattern: Pattern, removed_nodes: Sequence[Node]) -> DeltaTables:
     """CD−: Δ− tables from the doomed node set (targets + descendants)."""
-    return DeltaTables(pattern, _extract_for_pattern(pattern, removed_nodes), "-")
+    return delta_from_candidates(pattern, BatchCandidates(removed_nodes), "-")
 
 
 def doomed_nodes(targets: Sequence[Node]) -> List[Node]:

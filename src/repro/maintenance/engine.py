@@ -30,9 +30,11 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.maintenance.delta import (
+    BatchCandidates,
     DeltaTables,
     compute_delta_minus,
     compute_delta_plus,
+    delta_from_candidates,
     doomed_nodes,
 )
 from repro.maintenance.delete import (
@@ -42,16 +44,23 @@ from repro.maintenance.delete import (
     surviving_delete_terms,
 )
 from repro.maintenance.insert import (
+    collect_insert_additions,
     et_ins,
     pimt,
+    refresh_stored_attributes,
     snowcap_additions,
     surviving_insert_terms,
 )
 from repro.pattern.evaluate import Sources, filter_by_predicate
 from repro.pattern.tree_pattern import Pattern
 from repro.pattern.xquery import ViewDefinition
-from repro.updates.language import DeleteUpdate, InsertUpdate, UpdateStatement
-from repro.updates.pul import apply_pul, compute_pul
+from repro.updates.language import (
+    DeleteUpdate,
+    InsertUpdate,
+    UpdateBatch,
+    UpdateStatement,
+)
+from repro.updates.pul import BatchApplication, apply_pul, compute_pul
 from repro.views.lattice import SnowcapLattice
 from repro.views.view import MaterializedView
 from repro.xmldom.dewey import DeweyID
@@ -138,10 +147,66 @@ class PropagationReport:
     def total_maintenance_seconds(self) -> float:
         return sum(report.phases.total() for report in self.view_reports.values())
 
+    def propagation_seconds(self) -> float:
+        """Maintenance-phase seconds with the shared find-targets time
+        excluded -- the metric the benchmarks compare across pipelines."""
+        return sum(
+            report.phases.total() - report.phases.find_target_nodes
+            for report in self.view_reports.values()
+        )
+
     def __repr__(self) -> str:
         return "PropagationReport(%s, %d views, %.4fs)" % (
             self.statement.name,
             len(self.view_reports),
+            self.total_maintenance_seconds(),
+        )
+
+
+class BatchReport:
+    """Outcome of one batch of statements across all registered views."""
+
+    def __init__(self, statements: Sequence[UpdateStatement]):
+        self.statements = list(statements)
+        self.view_reports: Dict[str, ViewReport] = {}
+        self.apply_document_seconds = 0.0
+        #: building the batch's net Δ candidate sets -- shared across
+        #: views, so kept report-level rather than in per-view phases.
+        self.net_effects_seconds = 0.0
+        self.pul_size = 0
+        #: statements handed in, before coalescing merged adjacent inserts.
+        self.statements_submitted = 0
+        #: statements actually resolved and applied.
+        self.statements_applied = 0
+        self.net_inserted = 0
+        self.net_removed = 0
+        #: nodes inserted and deleted within the batch (net no-ops).
+        self.cancelled = 0
+        #: view name -> reason the per-view recompute fallback fired.
+        self.fallbacks: Dict[str, str] = {}
+
+    def report_for(self, name: str) -> ViewReport:
+        return self.view_reports[name]
+
+    def total_maintenance_seconds(self) -> float:
+        return self.net_effects_seconds + sum(
+            report.phases.total() for report in self.view_reports.values()
+        )
+
+    def propagation_seconds(self) -> float:
+        """Maintenance-phase seconds with the shared find-targets time
+        excluded; the once-per-batch net Δ construction is counted once."""
+        return self.net_effects_seconds + sum(
+            report.phases.total() - report.phases.find_target_nodes
+            for report in self.view_reports.values()
+        )
+
+    def __repr__(self) -> str:
+        return "BatchReport(%d statements, %d views, +%d/-%d net, %.4fs)" % (
+            self.statements_applied,
+            len(self.view_reports),
+            self.net_inserted,
+            self.net_removed,
             self.total_maintenance_seconds(),
         )
 
@@ -166,6 +231,31 @@ class RegisteredView:
             len(self.view),
             self.lattice.strategy,
         )
+
+
+def _watch_entries(
+    sigma_nodes: Sequence, chain: Sequence[Node]
+) -> List[Tuple[DeweyID, str, bool]]:
+    """(node, constant, satisfied) snapshots for flippable σ candidates.
+
+    ``chain`` is the self-and-ancestor candidate set of an update's
+    targets (sorted by ID); only label-compatible candidates are
+    watched.  Shared by the per-statement watchlists and the batch
+    pipeline's merged first-seen snapshots so the two paths cannot
+    drift apart.
+    """
+    entries: List[Tuple[DeweyID, str, bool]] = []
+    for node in sigma_nodes:
+        for candidate in chain:
+            if node.label == "*":
+                if candidate.kind != "element":
+                    continue
+            elif candidate.label != node.label:
+                continue
+            entries.append(
+                (candidate.id, node.value_pred, candidate.val == node.value_pred)
+            )
+    return entries
 
 
 class MaintenanceEngine:
@@ -227,22 +317,43 @@ class MaintenanceEngine:
 
     # -- source relations ---------------------------------------------------
 
-    def _sources_excluding(self, pattern: Pattern, excluded_ids: set) -> Sources:
+    def _sources_excluding(
+        self,
+        pattern: Pattern,
+        excluded_ids: set,
+        cache: Optional[Dict[str, List[Node]]] = None,
+    ) -> Sources:
         """σ-filtered canonical relations, minus the given node IDs.
 
         After an insert has been applied, R_old = R_new − Δ+.  Labels
         untouched by the update and free of value predicates reference
         the live canonical relation directly (no copy): term evaluation
         never mutates its sources, so copying is pure overhead.
+
+        ``cache`` (optional, label-keyed) shares the unpredicated
+        post-exclusion rows across calls with the same ``excluded_ids``
+        -- the batch pipeline passes one per batch so multi-view
+        maintenance filters each label once.
         """
         excluded_labels = {node_id.label for node_id in excluded_ids}
         sources: Sources = {}
         for node in pattern.nodes():
+            if node.label == "*" and node.value_pred is None:
+                rows = None if cache is None else cache.get("*")
+                if rows is None:
+                    candidates: List[Node] = sorted(
+                        self.document.all_elements(), key=lambda n: n.id
+                    )
+                    rows = filter_by_predicate(candidates, node)
+                    if excluded_ids:
+                        rows = [n for n in rows if n.id not in excluded_ids]
+                    if cache is not None:
+                        cache["*"] = rows
+                sources[node.name] = rows
+                continue
             if node.label == "*":
-                candidates: List[Node] = sorted(
-                    self.document.all_elements(), key=lambda n: n.id
-                )
-                rows = filter_by_predicate(candidates, node)
+                # Wildcard σ via the all-labels value index.
+                rows = self.document.nodes_with_value("*", node.value_pred)
             elif node.value_pred is not None:
                 # σ-constant selection via the document's value index.
                 rows = self.document.nodes_with_value(node.label, node.value_pred)
@@ -251,7 +362,13 @@ class MaintenanceEngine:
                 if node.label not in excluded_labels:
                     sources[node.name] = candidates
                     continue
-                rows = candidates
+                rows = None if cache is None else cache.get(node.label)
+                if rows is None:
+                    rows = [n for n in candidates if n.id not in excluded_ids]
+                    if cache is not None:
+                        cache[node.label] = rows
+                sources[node.name] = rows
+                continue
             if excluded_ids:
                 rows = [n for n in rows if n.id not in excluded_ids]
             sources[node.name] = rows
@@ -446,6 +563,417 @@ class MaintenanceEngine:
         reduced = reduce_statements(self.document, statements)
         return [self.apply_update(statement) for statement in reduced]
 
+    # -- batches (one propagation round per statement group) --------------------
+
+    def apply_batch(
+        self, batch: Union[UpdateBatch, Sequence[UpdateStatement]]
+    ) -> BatchReport:
+        """Propagate a whole batch: k statements, one maintenance round.
+
+        The document is updated statement-at-a-time (so target
+        resolution and Dewey assignment are byte-identical to
+        sequential application), but the view side runs once on the
+        batch's *net* effects: one label-bucketed Δ+/Δ− extraction
+        shared across views, one term development + evaluation, one
+        extent snapshot for the merged val/cont refresh, one store pass
+        and one lattice pass per view.  Nodes inserted and deleted
+        within the batch cancel out of both Δ sets.
+
+        Exactness: embeddings built purely from surviving pre-batch
+        nodes are state-independent unless a σ predicate flipped
+        (caught by the merged watchlists, per-view recompute fallback)
+        or a net-removed node's stored attributes drifted before its
+        removal (caught by the dirty-subtree guard, same fallback), so
+        the final extents always equal sequential application.
+        """
+        if isinstance(batch, UpdateBatch):
+            submitted = len(batch)
+            statements = batch.coalesced().statements
+        else:
+            statements = list(batch)
+            submitted = len(statements)
+        report = BatchReport(statements)
+        report.statements_submitted = submitted
+        report.statements_applied = len(statements)
+        if not statements:
+            return report
+
+        # Merged σ watchlists: first-seen satisfaction per (node,
+        # constant), snapshotted against the pre-statement state --
+        # i.e. the node's pre-batch value, since any earlier change
+        # would itself have put the node on an earlier watchlist.
+        watch: Dict[str, Dict[Tuple[DeweyID, str], bool]] = {
+            name: {} for name in self.views
+        }
+        sigma_by_view = {
+            name: [
+                node
+                for node in registered.pattern.nodes()
+                if node.value_pred is not None
+            ]
+            for name, registered in self.views.items()
+        }
+        any_sigma = any(sigma_by_view.values())
+
+        def before_apply(index: int, statement: UpdateStatement, pul) -> None:
+            if not any_sigma or not pul.operations:
+                return
+            # Self-and-ancestor chain of every target, via live parent
+            # pointers (the update can only flip σ values along it).
+            chain: List[Node] = []
+            seen: set = set()
+            for op in pul.operations:
+                walk: Optional[Node] = op.target
+                while walk is not None:
+                    if walk.dewey in seen:
+                        break
+                    seen.add(walk.dewey)
+                    chain.append(walk)
+                    walk = walk.parent
+            chain.sort(key=lambda n: n.id)
+            for name, sigma_nodes in sigma_by_view.items():
+                if not sigma_nodes:
+                    continue
+                merged = watch[name]
+                for node_id, constant, satisfied in _watch_entries(
+                    sigma_nodes, chain
+                ):
+                    merged.setdefault((node_id, constant), satisfied)
+
+        application = BatchApplication(self.document, statements)
+        try:
+            application.apply(before_apply)
+        except BaseException:
+            if application.applied:
+                # Partially applied batch: restore view consistency
+                # before surfacing the failure.
+                for registered in self.views.values():
+                    self._recompute(registered)
+            raise
+        report.apply_document_seconds = application.apply_seconds
+        report.pul_size = application.pul_size
+
+        # Net batch effects: shared across views, the cost kept
+        # report-level (net_effects_seconds) rather than multiplied
+        # into per-view phases.
+        started = time.perf_counter()
+        inserted_nodes = application.net_inserted_nodes()
+        inserted_candidates = BatchCandidates(inserted_nodes)
+        inserted_ids = {node.id for node in inserted_nodes}
+        removed_candidates = BatchCandidates(application.net_removed_nodes())
+        removed_ids = {node.id for node in removed_candidates.nodes}
+        report.net_inserted = len(inserted_ids)
+        report.net_removed = len(removed_ids)
+        report.cancelled = application.cancelled_count()
+        dirty_nodes = application.dirty_removed_nodes() if removed_ids else []
+        insert_target_ids = application.insert_target_ids
+        delete_target_ids = application.delete_target_ids
+        report.net_effects_seconds = time.perf_counter() - started
+
+        # Label-keyed source rows shared by every view this batch (the
+        # per-view σ push-down happens on top of them).
+        inserted_labels = set(inserted_candidates.by_label)
+        survivor_cache: Dict[str, List[Node]] = {}
+        pre_batch_cache: Dict[str, List[Node]] = {}
+
+        try:
+            self._propagate_batch_to_views(
+                report=report,
+                application=application,
+                watch=watch,
+                inserted_candidates=inserted_candidates,
+                inserted_ids=inserted_ids,
+                inserted_labels=inserted_labels,
+                removed_candidates=removed_candidates,
+                removed_ids=removed_ids,
+                dirty_nodes=dirty_nodes,
+                insert_target_ids=insert_target_ids,
+                delete_target_ids=delete_target_ids,
+                survivor_cache=survivor_cache,
+                pre_batch_cache=pre_batch_cache,
+            )
+        except BaseException:
+            # A failure mid-propagation leaves the failing view (and
+            # possibly its lattice) half-updated; restore consistency
+            # before surfacing the error, as the queue contract
+            # promises.
+            for registered in self.views.values():
+                self._recompute(registered)
+            raise
+        return report
+
+    def _propagate_batch_to_views(
+        self,
+        *,
+        report: BatchReport,
+        application: BatchApplication,
+        watch: Dict[str, Dict[Tuple[DeweyID, str], bool]],
+        inserted_candidates: BatchCandidates,
+        inserted_ids: set,
+        inserted_labels: set,
+        removed_candidates: BatchCandidates,
+        removed_ids: set,
+        dirty_nodes: Sequence[Node],
+        insert_target_ids: Sequence[DeweyID],
+        delete_target_ids: Sequence[DeweyID],
+        survivor_cache: Dict[str, List[Node]],
+        pre_batch_cache: Dict[str, List[Node]],
+    ) -> None:
+        """One maintenance round per registered view (apply_batch body)."""
+        for name, registered in self.views.items():
+            view_report = ViewReport(name)
+            view_report.targets = len(insert_target_ids) + len(delete_target_ids)
+            view_report.phases.find_target_nodes = application.find_targets_seconds
+            report.view_reports[name] = view_report
+            pattern = registered.pattern
+
+            reason = None
+            if dirty_nodes and self._dirty_affects(pattern, dirty_nodes):
+                reason = "dirty_removed_subtree"
+            elif self._batch_watch_changed(watch[name], inserted_ids):
+                reason = "predicate_flip"
+            if reason is not None:
+                self._recompute(registered)
+                view_report.predicate_fallback = True
+                report.fallbacks[name] = reason
+                continue
+
+            started = time.perf_counter()
+            delta_plus = delta_from_candidates(pattern, inserted_candidates, "+")
+            delta_minus = delta_from_candidates(pattern, removed_candidates, "-")
+            view_report.phases.compute_delta_tables = time.perf_counter() - started
+            view_report.delta_sizes = {
+                node_name: len(delta_plus.nodes(node_name))
+                + len(delta_minus.nodes(node_name))
+                for node_name in pattern.node_names()
+            }
+
+            # 1. Merged PIMT/PDMT refresh -- one extent snapshot per
+            # batch; stored survivors now carry final val/cont, the
+            # convention both Δ sides project below.
+            started = time.perf_counter()
+            view_report.tuples_modified = refresh_stored_attributes(
+                registered.view, self.document, insert_target_ids, delete_target_ids
+            )
+            view_report.phases.execute_update += time.perf_counter() - started
+
+            # Rows of the batch's Δ sets that this view's σ-filtered
+            # tables actually see; an all-empty side is skipped whole
+            # (no embedding, view or snowcap, can bind such a node).
+            minus_live = bool(delta_minus.nonempty_names())
+            plus_live = bool(delta_plus.nonempty_names())
+
+            # 2. Deletion side, against the reconstructed pre-batch
+            # relations (the lattice still holds pre-batch rows: exactly
+            # the old R the difference expression reads).
+            removals: Dict[tuple, int] = {}
+            if minus_live:
+                started = time.perf_counter()
+                del_terms, del_developed = surviving_delete_terms(
+                    pattern,
+                    delta_minus,
+                    self.prune_even_terms,
+                    self.use_data_pruning,
+                    self.use_id_pruning,
+                )
+                view_report.phases.get_update_expression += (
+                    time.perf_counter() - started
+                )
+                view_report.terms_developed += del_developed
+                view_report.terms_surviving += len(del_terms)
+                started = time.perf_counter()
+                old_sources = self._sources_pre_batch(
+                    pattern,
+                    inserted_ids,
+                    inserted_labels,
+                    removed_candidates,
+                    pre_batch_cache,
+                )
+                removals, eval_seconds = et_del(
+                    registered.view, del_terms, old_sources, delta_minus,
+                    registered.lattice,
+                )
+                view_report.term_eval_seconds += eval_seconds
+                view_report.phases.execute_update += time.perf_counter() - started
+
+            # 3. Drop doomed lattice rows *before* the insertion side
+            # reads lattice relations as R-parts.
+            if minus_live:
+                started = time.perf_counter()
+                registered.lattice.apply_batch(removed_ids, {})
+                view_report.phases.update_lattice += time.perf_counter() - started
+
+            # 4. Insertion side over survivor relations.
+            additions: Dict[tuple, int] = {}
+            r_sources: Optional[Sources] = None
+            if plus_live:
+                started = time.perf_counter()
+                ins_terms, ins_developed = surviving_insert_terms(
+                    pattern,
+                    delta_plus,
+                    insert_target_ids,
+                    self.use_data_pruning,
+                    self.use_id_pruning,
+                )
+                view_report.phases.get_update_expression += (
+                    time.perf_counter() - started
+                )
+                view_report.terms_developed += ins_developed
+                view_report.terms_surviving += len(ins_terms)
+                started = time.perf_counter()
+                r_sources = self._sources_excluding(
+                    pattern, inserted_ids, cache=survivor_cache
+                )
+                additions, eval_seconds = collect_insert_additions(
+                    pattern, ins_terms, r_sources, delta_plus, registered.lattice
+                )
+                view_report.term_eval_seconds += eval_seconds
+                view_report.phases.execute_update += time.perf_counter() - started
+
+            # 5. One store pass for the merged extent delta.
+            started = time.perf_counter()
+            added, tuples_removed, derivations_removed = (
+                registered.view.apply_batch_delta(additions, removals)
+            )
+            view_report.derivations_added = added
+            view_report.tuples_removed = tuples_removed
+            view_report.derivations_removed = derivations_removed
+            view_report.phases.execute_update += time.perf_counter() - started
+
+            # 6. One lattice extend pass for the batch's snowcap rows.
+            if r_sources is not None and registered.lattice.materialized_sets():
+                started = time.perf_counter()
+                lattice_additions = snowcap_additions(
+                    pattern,
+                    registered.lattice,
+                    r_sources,
+                    delta_plus,
+                    insert_target_ids,
+                    self.use_data_pruning,
+                    self.use_id_pruning,
+                )
+                registered.lattice.apply_batch(set(), lattice_additions)
+                view_report.phases.update_lattice += time.perf_counter() - started
+
+    def _dirty_affects(self, pattern: Pattern, dirty_nodes: Sequence[Node]) -> bool:
+        """Can a drifted removed node's stale val/cont reach this view?
+
+        Drift matters only through value semantics: a σ-constant filter
+        on the node's label (Δ− filtering and R_old reconstruction read
+        the detached value) or a stored ``val``/``cont`` attribute (the
+        removal tuple's projection must match what the extent holds).
+        Views that bind the label by ID alone are exact regardless --
+        structural joins never read values.
+        """
+        sensitive = [
+            node
+            for node in pattern.nodes()
+            if node.value_pred is not None or node.store_val or node.store_cont
+        ]
+        if not sensitive:
+            return False
+        for dirty in dirty_nodes:
+            for node in sensitive:
+                if node.label == "*":
+                    if dirty.kind == "element":
+                        return True
+                elif node.matches_label(dirty.label):
+                    return True
+        return False
+
+    def _batch_watch_changed(
+        self,
+        watch: Dict[Tuple[DeweyID, str], bool],
+        inserted_ids: set,
+    ) -> bool:
+        """Did any surviving pre-existing σ candidate flip across the batch?
+
+        Batch-inserted survivors are skipped (the Δ+ side σ-filters
+        them against final values) and removed candidates are skipped
+        (the Δ− side reads their detached values, which the dirty-
+        subtree guard certifies as pre-batch).
+        """
+        for (node_id, constant), satisfied in watch.items():
+            if node_id in inserted_ids:
+                continue
+            node = self.document.node_by_id(node_id)
+            if node is None:
+                continue
+            if (node.val == constant) != satisfied:
+                return True
+        return False
+
+    def _sources_pre_batch(
+        self,
+        pattern: Pattern,
+        inserted_ids: set,
+        inserted_labels: set,
+        removed_candidates: BatchCandidates,
+        cache: Optional[Dict[str, List[Node]]] = None,
+    ) -> Sources:
+        """Reconstructed pre-batch σ-filtered canonical relations.
+
+        ``R_old`` per label = live survivors (current relation minus
+        batch inserts) plus the net-removed nodes, which -- detached
+        with their subtrees intact and certified clean by the dirty
+        guard -- still expose their pre-batch ``val``/``cont``.
+
+        Labels the batch never touched reference the live relation (or
+        the value index) directly; touched labels build their merged
+        base row once per batch in ``cache`` and σ-filter per view on
+        top.  Term evaluation never mutates its sources, so shared
+        lists are safe.
+        """
+        if cache is None:
+            cache = {}
+        sources: Sources = {}
+        for node in pattern.nodes():
+            label = node.label
+            if (
+                label != "*"
+                and label not in inserted_labels
+                and label not in removed_candidates.by_label
+            ):
+                # Untouched label: R_old == R_new.
+                if node.value_pred is not None:
+                    sources[node.name] = self.document.nodes_with_value(
+                        label, node.value_pred
+                    )
+                else:
+                    sources[node.name] = self.document.nodes_with_label(label)
+                continue
+            base = cache.get(label)
+            if base is None:
+                if label == "*":
+                    base = [
+                        candidate
+                        for candidate in self.document.all_elements()
+                        if candidate.id not in inserted_ids
+                    ]
+                    base.extend(
+                        candidate
+                        for candidate in removed_candidates.nodes
+                        if candidate.kind == "element"
+                    )
+                else:
+                    base = [
+                        candidate
+                        for candidate in self.document.nodes_with_label(label)
+                        if candidate.id not in inserted_ids
+                    ]
+                    base.extend(removed_candidates.by_label.get(label, ()))
+                base.sort(key=lambda n: n.id)
+                cache[label] = base
+            if label == "*":
+                rows = filter_by_predicate(base, node)
+            elif node.value_pred is not None:
+                constant = node.value_pred
+                rows = [n for n in base if n.val == constant]
+            else:
+                rows = base
+            sources[node.name] = rows
+        return sources
+
     # -- helpers -----------------------------------------------------------------
 
     def _watch_predicates(
@@ -481,17 +1009,7 @@ class MaintenanceEngine:
                 if candidate is not None:
                     chain.append(candidate)
         chain.sort(key=lambda n: n.id)
-        for node in sigma_nodes:
-            for candidate in chain:
-                if node.label == "*":
-                    if candidate.kind != "element":
-                        continue
-                elif candidate.label != node.label:
-                    continue
-                watch.append(
-                    (candidate.id, node.value_pred, candidate.val == node.value_pred)
-                )
-        return watch
+        return _watch_entries(sigma_nodes, chain)
 
     def _watch_changed(self, watch: List[Tuple[DeweyID, str, bool]]) -> bool:
         for node_id, constant, satisfied in watch:
@@ -508,3 +1026,61 @@ class MaintenanceEngine:
         )
         registered.view._store = fresh._store
         registered.lattice.materialize(self.document)
+
+
+class BatchEngine:
+    """Batch-first facade over :class:`MaintenanceEngine`.
+
+    The primary API is :meth:`apply`, which takes an
+    :class:`~repro.updates.language.UpdateBatch` (or any statement
+    sequence) and propagates it in one maintenance round; the
+    per-statement :meth:`apply_update` is kept as a batch-of-one shim.
+    Pair with :class:`repro.maintenance.queue.ApplyQueue` (see
+    :meth:`queue`) for asynchronous application.
+    """
+
+    def __init__(self, engine_or_document: Union[MaintenanceEngine, Document], **options):
+        if isinstance(engine_or_document, MaintenanceEngine):
+            if options:
+                raise ValueError("engine options only apply when passing a document")
+            self.engine = engine_or_document
+        else:
+            self.engine = MaintenanceEngine(engine_or_document, **options)
+
+    @property
+    def document(self) -> Document:
+        return self.engine.document
+
+    @property
+    def views(self) -> Dict[str, RegisteredView]:
+        return self.engine.views
+
+    def register_view(self, *args, **kwargs) -> RegisteredView:
+        return self.engine.register_view(*args, **kwargs)
+
+    def unregister_view(self, name: str) -> None:
+        self.engine.unregister_view(name)
+
+    def apply(self, batch: Union[UpdateBatch, Sequence[UpdateStatement]]) -> BatchReport:
+        """Propagate a batch: one Δ extraction, one round per view."""
+        return self.engine.apply_batch(batch)
+
+    def apply_update(self, statement: UpdateStatement) -> BatchReport:
+        """Per-statement entry point, implemented as a batch of one.
+
+        Note the return type: a :class:`BatchReport` (``.statements``,
+        ``.fallbacks``), not the :class:`PropagationReport` of
+        :meth:`MaintenanceEngine.apply_update` -- callers needing the
+        per-statement report shape should use the inner engine
+        directly.
+        """
+        return self.engine.apply_batch([statement])
+
+    def queue(self, **options) -> "ApplyQueue":  # noqa: F821 (runtime import)
+        """A started :class:`ApplyQueue` draining into this engine."""
+        from repro.maintenance.queue import ApplyQueue
+
+        return ApplyQueue(self, **options)
+
+    def __repr__(self) -> str:
+        return "BatchEngine(%d views)" % len(self.engine.views)

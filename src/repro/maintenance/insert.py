@@ -36,7 +36,11 @@ from repro.pattern.evaluate import Sources, project_bindings
 from repro.pattern.tree_pattern import Pattern
 from repro.views.lattice import SnowcapLattice
 from repro.views.view import MaterializedView
-from repro.xmldom.dewey import DeweyID
+from repro.xmldom.dewey import (
+    DeweyID,
+    has_descendant_or_self,
+    has_strict_descendant,
+)
 from repro.xmldom.model import Document, Node
 
 
@@ -62,6 +66,35 @@ def surviving_insert_terms(
     return terms, developed
 
 
+def collect_insert_additions(
+    pattern: Pattern,
+    terms: Sequence[Term],
+    r_sources: Sources,
+    deltas: DeltaTables,
+    lattice: Optional[SnowcapLattice] = None,
+) -> Tuple[Dict[tuple, int], float]:
+    """The term-evaluation half of Algorithm 3.
+
+    Returns ``({projected tuple: fresh derivations}, seconds)`` without
+    touching any view -- the batch pipeline merges these Δ+ tuples with
+    the deletion side and applies both in one store pass.
+    """
+    import time
+
+    accumulated: Dict[tuple, int] = {}
+    eval_seconds = 0.0
+    for term in terms:
+        started = time.perf_counter()
+        bindings = evaluate_term(pattern, term, r_sources, deltas, lattice)
+        eval_seconds += time.perf_counter() - started
+        if not bindings.rows:
+            continue
+        projected = project_bindings(pattern, bindings)
+        for row in projected.rows:
+            accumulated[row] = accumulated.get(row, 0) + 1
+    return accumulated, eval_seconds
+
+
 def et_ins(
     view: MaterializedView,
     terms: Sequence[Term],
@@ -76,25 +109,68 @@ def et_ins(
     present have their derivation count increased; new tuples enter
     with the count of their fresh derivations.
     """
-    import time
-
-    pattern = view.pattern
+    accumulated, eval_seconds = collect_insert_additions(
+        view.pattern, terms, r_sources, deltas, lattice
+    )
     added = 0
-    accumulated: Dict[tuple, int] = {}
-    eval_seconds = 0.0
-    for term in terms:
-        started = time.perf_counter()
-        bindings = evaluate_term(pattern, term, r_sources, deltas, lattice)
-        eval_seconds += time.perf_counter() - started
-        if not bindings.rows:
-            continue
-        projected = project_bindings(pattern, bindings)
-        for row in projected.rows:
-            accumulated[row] = accumulated.get(row, 0) + 1
     for row, count in accumulated.items():
         view.add(row, count)
         added += count
     return added, eval_seconds
+
+
+def refresh_stored_attributes(
+    view: MaterializedView,
+    document: Document,
+    insert_target_ids: Sequence[DeweyID],
+    delete_target_ids: Sequence[DeweyID],
+) -> int:
+    """The shared PIMT/PDMT rewrite loop: one snapshot pass.
+
+    A surviving stored node's attributes changed iff it is an
+    ancestor-or-self of an insertion target or a proper ancestor of a
+    deletion target -- ID-only tests, merged over however many
+    statements contributed targets (the batch pipeline passes both
+    lists at once so the view extent is scanned a single time); target
+    lists are deduplicated and sorted up front so each stored node is
+    probed with one bisect per kind, not one comparison per target.
+    Rewrites read the *final* document state, so candidate overshoot
+    (e.g. targets whose effect was later cancelled) degrades to a no-op
+    rewrite.  Returns the number of rewritten tuples.
+    """
+    pattern = view.pattern
+    cvn = pattern.content_nodes()
+    if not cvn or (not insert_target_ids and not delete_target_ids):
+        return 0
+    sorted_insert_targets = sorted(set(insert_target_ids))
+    sorted_delete_targets = sorted(set(delete_target_ids))
+    columns = pattern.return_columns()
+    column_index = {pair: i for i, pair in enumerate(columns)}
+    replacements: List[Tuple[tuple, tuple]] = []
+    for row, _count in view.content():
+        new_row = None
+        for node in cvn:
+            id_index = column_index[(node.name, "ID")]
+            stored_id: DeweyID = row[id_index]
+            touched = has_descendant_or_self(
+                sorted_insert_targets, stored_id
+            ) or has_strict_descendant(sorted_delete_targets, stored_id)
+            if not touched:
+                continue
+            doc_node = document.node_by_id(stored_id)
+            if doc_node is None:
+                continue  # removed with its subtree; Δ− handles the tuple
+            if new_row is None:
+                new_row = list(row)
+            if node.store_val:
+                new_row[column_index[(node.name, "val")]] = doc_node.val
+            if node.store_cont:
+                new_row[column_index[(node.name, "cont")]] = doc_node.cont
+        if new_row is not None and tuple(new_row) != row:
+            replacements.append((row, tuple(new_row)))
+    for old_row, fresh_row in replacements:
+        view.replace(old_row, fresh_row)
+    return len(replacements)
 
 
 def pimt(
@@ -108,34 +184,7 @@ def pimt(
     of an insert or an ancestor of one -- an ID-only test (``t.n = n_i``
     or ``t.n ≺≺ n_i``).  Returns the number of rewritten tuples.
     """
-    pattern = view.pattern
-    cvn = pattern.content_nodes()
-    if not cvn or not target_ids:
-        return 0
-    columns = pattern.return_columns()
-    column_index = {pair: i for i, pair in enumerate(columns)}
-    replacements: List[Tuple[tuple, tuple]] = []
-    for row, _count in view.content():
-        new_row = None
-        for node in cvn:
-            id_index = column_index[(node.name, "ID")]
-            stored_id: DeweyID = row[id_index]
-            if not any(stored_id.is_ancestor_or_self(target) for target in target_ids):
-                continue
-            doc_node = document.node_by_id(stored_id)
-            if doc_node is None:
-                continue
-            if new_row is None:
-                new_row = list(row)
-            if node.store_val:
-                new_row[column_index[(node.name, "val")]] = doc_node.val
-            if node.store_cont:
-                new_row[column_index[(node.name, "cont")]] = doc_node.cont
-        if new_row is not None and tuple(new_row) != row:
-            replacements.append((row, tuple(new_row)))
-    for old_row, fresh_row in replacements:
-        view.replace(old_row, fresh_row)
-    return len(replacements)
+    return refresh_stored_attributes(view, document, target_ids, ())
 
 
 def snowcap_additions(

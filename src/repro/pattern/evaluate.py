@@ -33,11 +33,11 @@ Sources = Dict[str, List[Node]]
 
 def _node_source(document: Document, node: PatternNode) -> List[Node]:
     if node.label == "*":
-        matches: List[Node] = sorted(document.all_elements(), key=lambda n: n.id)
         if node.value_pred is not None:
-            constant = node.value_pred
-            matches = [m for m in matches if m.val == constant]
-        return matches
+            # Wildcard σ-constant selection: the all-labels value index,
+            # not an all_elements() scan.
+            return document.nodes_with_value("*", node.value_pred)
+        return sorted(document.all_elements(), key=lambda n: n.id)
     if node.value_pred is not None:
         # σ-constant selection: an index lookup, not a relation scan.
         return document.nodes_with_value(node.label, node.value_pred)

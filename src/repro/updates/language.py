@@ -96,6 +96,135 @@ class ResolvedInsertUpdate(InsertUpdate):
         )
 
 
+# -- batches ----------------------------------------------------------------
+
+
+def _filter_labels(pred) -> set:
+    """Every label a predicate expression can test (for merge safety)."""
+    from repro.pattern.xpath_parser import (
+        AndFilter,
+        ExistsFilter,
+        OrFilter,
+        ValueFilter,
+    )
+
+    if isinstance(pred, (AndFilter, OrFilter)):
+        out: set = set()
+        for part in pred.parts:
+            out |= _filter_labels(part)
+        return out
+    if isinstance(pred, ExistsFilter):
+        return _path_labels(pred.path)
+    if isinstance(pred, ValueFilter):
+        if pred.path is None:
+            # Self-value test ``[. = c]``: inserting text under any
+            # matched node can flip it, so nothing is safely mergeable.
+            return {"*"}
+        return _path_labels(pred.path)
+    return {"*"}  # unknown predicate kind: assume it can match anything
+
+
+def _path_labels(path: Optional[PathExpr]) -> set:
+    """Every label a path (steps and predicates) can match."""
+    if path is None:
+        return set()
+    labels: set = set()
+    for step in path.steps:
+        labels.add("#text" if step.test == "text()" else step.test)
+        for pred in step.predicates:
+            labels |= _filter_labels(pred)
+    return labels
+
+
+def _forest_labels(forest: List[Node]) -> set:
+    labels: set = set()
+    for tree in forest:
+        for node in tree.self_and_descendants():
+            labels.add(node.label)
+    return labels
+
+
+def _mergeable_inserts(first: InsertUpdate, second: InsertUpdate) -> bool:
+    """Can two adjacent inserts share one target resolution?
+
+    Resolved inserts merge iff they name the same target IDs.  Path
+    inserts merge iff the paths are textually identical *and* neither
+    forest contains a label the path (steps or predicates) can match --
+    otherwise the first insert could create or enable targets for the
+    second, and merging would change which nodes receive copies.
+    """
+    first_ids = getattr(first, "target_ids", None)
+    second_ids = getattr(second, "target_ids", None)
+    if (first_ids is None) != (second_ids is None):
+        return False
+    if first_ids is not None:
+        return list(first_ids) == list(second_ids)
+    if repr(first.target) != repr(second.target):
+        return False
+    path_labels = _path_labels(first.target)
+    if "*" in path_labels:
+        return False
+    return not (path_labels & (_forest_labels(first.forest) | _forest_labels(second.forest)))
+
+
+def _merge_inserts(first: InsertUpdate, second: InsertUpdate) -> InsertUpdate:
+    name = "%s+%s" % (first.name, second.name)
+    forest = list(first.forest) + list(second.forest)
+    first_ids = getattr(first, "target_ids", None)
+    if first_ids is not None:
+        return ResolvedInsertUpdate(first_ids, forest, name=name)
+    return InsertUpdate(first.target, forest, name=name)
+
+
+class UpdateBatch:
+    """An ordered group of statements propagated as one unit.
+
+    A batch is the engine's unit of maintenance: one merged pending
+    update list, one Δ extraction, one lattice pass.  ``coalesced``
+    merges adjacent inserts that provably share a target set, so the
+    batch pays one target resolution for the run; insert-then-delete
+    cancellation of whole subtrees happens later, at the net-delta
+    level (nodes inserted and removed within one batch appear in
+    neither Δ+ nor Δ−).
+    """
+
+    def __init__(self, statements: Sequence[UpdateStatement] = (), name: Optional[str] = None):
+        self.statements: List[UpdateStatement] = list(statements)
+        self.name = name or "batch"
+
+    def append(self, statement: UpdateStatement) -> "UpdateBatch":
+        self.statements.append(statement)
+        return self
+
+    def extend(self, statements: Sequence[UpdateStatement]) -> "UpdateBatch":
+        self.statements.extend(statements)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def __iter__(self):
+        return iter(self.statements)
+
+    def coalesced(self) -> "UpdateBatch":
+        """A semantically equivalent batch with adjacent inserts merged."""
+        out: List[UpdateStatement] = []
+        for statement in self.statements:
+            if (
+                out
+                and isinstance(statement, InsertUpdate)
+                and isinstance(out[-1], InsertUpdate)
+                and _mergeable_inserts(out[-1], statement)
+            ):
+                out[-1] = _merge_inserts(out[-1], statement)
+            else:
+                out.append(statement)
+        return UpdateBatch(out, name=self.name)
+
+    def __repr__(self) -> str:
+        return "UpdateBatch(%s, %d statements)" % (self.name, len(self.statements))
+
+
 _LET_RE = re.compile(
     r"^\s*let\s+(\$[\w]+)\s*:?=\s*doc\s*\(\s*[\"']([^\"']*)[\"']\s*\)\s*", re.DOTALL
 )

@@ -21,6 +21,7 @@ import time
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.updates.language import DeleteUpdate, InsertUpdate, UpdateStatement
+from repro.xmldom.dewey import has_strict_descendant
 from repro.xmldom.model import Document, ElementNode, Node
 
 
@@ -66,6 +67,17 @@ class PendingUpdateList:
 
     def __iter__(self):
         return iter(self.operations)
+
+    def extend(self, operations: Sequence[AtomicOp]) -> None:
+        self.operations.extend(operations)
+
+    @classmethod
+    def merged(cls, puls: Sequence["PendingUpdateList"]) -> "PendingUpdateList":
+        """One PUL concatenating the atomic operations of many."""
+        out = cls()
+        for pul in puls:
+            out.extend(pul.operations)
+        return out
 
     def inserts(self) -> List[AtomicInsert]:
         return [op for op in self.operations if isinstance(op, AtomicInsert)]
@@ -145,6 +157,179 @@ class AppliedUpdate:
         return "AppliedUpdate(+%d trees, -%d nodes)" % (
             len(self.inserted_roots),
             len(self.removed_nodes),
+        )
+
+
+class BatchApplication:
+    """Materialized effects of applying a statement batch in order.
+
+    Target resolution and document application stay strictly
+    sequential -- statement *k* resolves against the document as left
+    by statements ``1..k-1``, so the updated document is byte-identical
+    to per-statement application.  What the batch changes is the view
+    side: the *net* insert/delete effects are exposed so maintenance
+    runs one Δ extraction and one propagation round for the whole
+    stream.
+
+    Net semantics implement the batch-level cancellation rule: a node
+    inserted and deleted within the same batch appears in neither
+    ``net_inserted_nodes`` nor ``net_removed_nodes`` (its whole
+    round-trip is invisible to the views), and a deleted node counts as
+    Δ− only if it predates the batch.
+    """
+
+    def __init__(self, document: Document, statements: Sequence) -> None:
+        self.document = document
+        self.statements = list(statements)
+        self.puls: List[PendingUpdateList] = []
+        self.applied: List[AppliedUpdate] = []
+        self.find_targets_seconds = 0.0
+        self.apply_seconds = 0.0
+        #: every node inserted at any point, with the statement index;
+        #: IDs are captured at insert time (they survive later removal).
+        self.inserted_records: List[Tuple[Node, int]] = []
+        self.inserted_ids: set = set()
+        #: every node removed at any point, with the statement index.
+        self.removed_records: List[Tuple[Node, int]] = []
+
+    # -- execution --------------------------------------------------------
+
+    def apply(self, before_apply=None) -> "BatchApplication":
+        """Resolve and apply every statement, in order.
+
+        ``before_apply(index, statement, pul)`` runs after target
+        resolution and before the document changes -- the hook the
+        engine uses to snapshot σ-predicate watchlists against the
+        pre-statement state.
+        """
+        for index, statement in enumerate(self.statements):
+            started = time.perf_counter()
+            pul = compute_pul(self.document, statement)
+            self.find_targets_seconds += time.perf_counter() - started
+            if before_apply is not None:
+                before_apply(index, statement, pul)
+            applied = apply_pul(self.document, pul)
+            self.apply_seconds += applied.apply_seconds
+            for root in applied.inserted_roots:
+                for node in root.self_and_descendants():
+                    self.inserted_records.append((node, index))
+                    self.inserted_ids.add(node.id)
+            for node in applied.removed_nodes:
+                self.removed_records.append((node, index))
+            self.puls.append(pul)
+            self.applied.append(applied)
+        return self
+
+    # -- merged PUL -------------------------------------------------------
+
+    def merged_pul(self) -> PendingUpdateList:
+        return PendingUpdateList.merged(self.puls)
+
+    @property
+    def pul_size(self) -> int:
+        return sum(len(pul) for pul in self.puls)
+
+    @property
+    def insert_target_ids(self) -> List:
+        return [op.target.id for pul in self.puls for op in pul.inserts()]
+
+    @property
+    def delete_target_ids(self) -> List:
+        return [op.target.id for pul in self.puls for op in pul.deletes()]
+
+    # -- net effects ------------------------------------------------------
+
+    def net_inserted_roots(self) -> List[Node]:
+        """Inserted subtree roots that survive the batch, outermost only.
+
+        A root is dropped when it was itself deleted later, or when it
+        sits inside another inserted subtree (its nodes are reachable
+        from the outer root's traversal)."""
+        roots: List[Node] = []
+        for applied in self.applied:
+            for root in applied.inserted_roots:
+                if self.document.node_by_id(root.id) is not root:
+                    continue  # cancelled: inserted then deleted
+                # Nested inside another inserted subtree?  Walk parent
+                # pointers (live chain) rather than rebuilding ancestor
+                # DeweyIDs.
+                walk = root.parent
+                nested = False
+                while walk is not None:
+                    if walk.dewey in self.inserted_ids:
+                        nested = True
+                        break
+                    walk = walk.parent
+                if not nested:
+                    roots.append(root)
+        return roots
+
+    def net_inserted_nodes(self) -> List[Node]:
+        """Every batch-inserted node still in the document (Δ+)."""
+        out: List[Node] = []
+        for root in self.net_inserted_roots():
+            out.extend(root.self_and_descendants())
+        return out
+
+    def net_removed_records(self) -> List[Tuple[Node, int]]:
+        """Pre-batch nodes removed by the batch (Δ−), with event index."""
+        return [
+            (node, index)
+            for node, index in self.removed_records
+            if node.id not in self.inserted_ids
+        ]
+
+    def net_removed_nodes(self) -> List[Node]:
+        return [node for node, _index in self.net_removed_records()]
+
+    def cancelled_count(self) -> int:
+        """Nodes inserted and deleted within the batch (net no-ops)."""
+        return sum(
+            1 for node, _index in self.removed_records if node.id in self.inserted_ids
+        )
+
+    def dirty_removed_nodes(self) -> List[Node]:
+        """Net-removed nodes whose detached val/cont may differ from
+        their pre-batch state.
+
+        A removed node's stored attributes drifted iff its subtree was
+        touched *before* its own removal: a batch-inserted node ever
+        lived below it, or a strictly-descendant node was removed by an
+        earlier statement (same-statement removals take whole subtrees
+        atomically and never nest, so they cannot drift).  Such nodes
+        invalidate Δ−-side exactness and force the engine's recompute
+        fallback.
+
+        Descendant probes bisect sorted ID lists: a Dewey subtree is a
+        contiguous key range, so each probe is O(log n) instead of a
+        scan over every inserted/removed record.
+        """
+        inserted_sorted = sorted(self.inserted_ids)
+        removed_by_statement: dict = {}
+        for node, index in self.removed_records:
+            removed_by_statement.setdefault(index, []).append(node.id)
+        for ids in removed_by_statement.values():
+            ids.sort()
+        earlier_statements = sorted(removed_by_statement)
+        dirty: List[Node] = []
+        for node, index in self.net_removed_records():
+            node_id = node.id
+            if has_strict_descendant(inserted_sorted, node_id) or any(
+                has_strict_descendant(removed_by_statement[earlier], node_id)
+                for earlier in earlier_statements
+                if earlier < index
+            ):
+                dirty.append(node)
+        return dirty
+
+    def has_dirty_removals(self) -> bool:
+        return bool(self.dirty_removed_nodes())
+
+    def __repr__(self) -> str:
+        return "BatchApplication(%d statements, +%d ids, -%d records)" % (
+            len(self.statements),
+            len(self.inserted_ids),
+            len(self.removed_records),
         )
 
 

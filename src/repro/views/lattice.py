@@ -209,6 +209,44 @@ class SnowcapLattice:
 
     # -- incremental upkeep -----------------------------------------------------
 
+    def apply_batch(
+        self,
+        deleted_ids: Set[DeweyID],
+        additions: Dict[NodeSet, Relation],
+    ) -> int:
+        """Merged upkeep: drop doomed rows and append fresh ones.
+
+        One filter + extend + sort pass per touched relation, however
+        many statements contributed to ``deleted_ids``/``additions``;
+        returns the number of rows removed.  Untouched relations are
+        left as-is (no copy, no sort).
+        """
+        removed = 0
+        for subset, relation in self._materialized.items():
+            extra = additions.get(subset)
+            has_extra = extra is not None and bool(extra.rows)
+            kept = relation.rows
+            if deleted_ids:
+                kept = [
+                    row
+                    for row in relation.rows
+                    if not any(cell.id in deleted_ids for cell in row)
+                ]
+                removed += len(relation.rows) - len(kept)
+                if not has_extra and len(kept) == len(relation.rows):
+                    continue  # nothing actually dropped
+            elif not has_extra:
+                continue
+            if kept is relation.rows:
+                kept = list(kept)
+            if has_extra:
+                kept.extend(extra.reordered(relation.schema).rows)
+                kept.sort(key=lambda row: tuple(cell.id for cell in row))
+                # Sorting permutes positions only; cached indexes map
+                # IDs to row tuples and are invalidated by replace_rows.
+            relation.replace_rows(kept)
+        return removed
+
     def apply_insert_additions(self, additions: Dict[NodeSet, Relation]) -> None:
         """Append freshly derived rows to materialized snowcaps.
 
@@ -216,14 +254,7 @@ class SnowcapLattice:
         the term evaluator (Prop. 3.13: each snowcap is maintainable
         from smaller snowcaps, the leaves and the Δ+ tables).
         """
-        for subset, extra in additions.items():
-            current = self._materialized.get(subset)
-            if current is None:
-                continue
-            current.extend(extra.reordered(current.schema))
-            current.rows.sort(key=lambda row: tuple(cell.id for cell in row))
-            # Sorting permutes positions only; cached indexes map IDs to
-            # row tuples and were already invalidated by extend().
+        self.apply_batch(set(), additions)
 
     def apply_delete(self, deleted_ids: Set[DeweyID]) -> int:
         """Drop rows binding any deleted node; returns rows removed.
@@ -232,13 +263,4 @@ class SnowcapLattice:
         removed" step that makes Update-Lattice costlier for deletions
         than for insertions (Section 6.2).
         """
-        removed = 0
-        for subset, relation in self._materialized.items():
-            kept = [
-                row
-                for row in relation.rows
-                if not any(cell.id in deleted_ids for cell in row)
-            ]
-            removed += len(relation.rows) - len(kept)
-            relation.replace_rows(kept)
-        return removed
+        return self.apply_batch(deleted_ids, {})

@@ -13,7 +13,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.pattern.evaluate import evaluate_view, view_columns
 from repro.pattern.tree_pattern import Pattern
-from repro.views.store import OrderedTupleStore
+from repro.views.store import DELETED, OrderedTupleStore
 from repro.xmldom.model import Document
 
 ViewTuple = tuple
@@ -100,6 +100,53 @@ class MaterializedView:
         """Drop a tuple outright regardless of its count."""
         if not self._store.delete(row):
             raise KeyError("tuple %r is not in view %s" % (row, self.name))
+
+    def apply_batch_delta(
+        self,
+        additions: Dict[ViewTuple, int],
+        removals: Dict[ViewTuple, int],
+    ) -> Tuple[int, int, int]:
+        """Apply a batch's merged Δ+ / Δ− in one store pass.
+
+        ``additions`` maps tuples to fresh derivations, ``removals`` to
+        doomed ones; tuples in both are adjusted by the net, so a
+        derivation removed and re-derived within one batch never
+        transits through an absent state.  Returns ``(derivations
+        added, tuples removed, derivations removed)``.  Like
+        :meth:`decrement`, removing underivable tuples is an error.
+        """
+        delta: Dict[ViewTuple, int] = dict(additions)
+        for row, count in removals.items():
+            delta[row] = delta.get(row, 0) - count
+        changes = []
+        tuples_removed = 0
+        for row in sorted(delta):
+            shift = delta[row]
+            if shift == 0:
+                continue
+            current = self._store.get(row)
+            if current is None:
+                if shift < 0:
+                    raise KeyError("tuple %r is not in view %s" % (row, self.name))
+                changes.append((row, shift))
+                continue
+            remaining = current + shift
+            if remaining < 0:
+                raise ValueError(
+                    "tuple %r has %d derivations, cannot remove %d"
+                    % (row, current, -shift)
+                )
+            if remaining == 0:
+                changes.append((row, DELETED))
+                tuples_removed += 1
+            else:
+                changes.append((row, remaining))
+        self._store.bulk_apply(changes)
+        return (
+            sum(additions.values()),
+            tuples_removed,
+            sum(removals.values()),
+        )
 
     def replace(self, old_row: ViewTuple, new_row: ViewTuple) -> None:
         """Rewrite a tuple in place (PIMT/PDMT val-cont refresh)."""

@@ -20,9 +20,16 @@ equals five IVMA node-at-a-time calls.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.updates.language import DeleteUpdate, InsertUpdate, UpdateStatement
+from repro.updates.language import (
+    DeleteUpdate,
+    InsertUpdate,
+    ResolvedDeleteUpdate,
+    ResolvedInsertUpdate,
+    UpdateStatement,
+)
 
 _NAME_SNIPPET = (
     "<name>{who}"
@@ -148,3 +155,56 @@ def delete_variant(name: str) -> DeleteUpdate:
     """The deletion twin: delete the nodes the target path returns."""
     target, _snippet = UPDATE_TEXTS[name]
     return DeleteUpdate(target, name=name + "_del")
+
+
+def statement_stream(
+    document,
+    count: int,
+    seed: int = 0,
+    insert_ratio: float = 1.0,
+    names: Optional[Sequence[str]] = None,
+) -> List[UpdateStatement]:
+    """A reproducible single-target statement stream for batch runs.
+
+    Each statement picks one Appendix-A update name, resolves its
+    target path once against ``document`` (resolutions are cached per
+    name) and wraps a *single* randomly chosen target as a
+    Resolved statement -- the write-stream shape the batch pipeline
+    and the async queue are built for.  ``insert_ratio`` is the
+    fraction of insertions (the rest are single-target deletions);
+    statements whose pre-resolved target has since been deleted are
+    skipped by ``compute_pul`` at apply time, on both the sequential
+    and the batched side, so streams stay equivalence-comparable.
+    """
+    rng = random.Random(seed)
+    chosen_names = list(names or sorted(UPDATE_TEXTS))
+    targets_by_name: Dict[str, List] = {}
+    stream: List[UpdateStatement] = []
+    while len(stream) < count:
+        name = rng.choice(chosen_names)
+        base = insert_update(name)
+        targets = targets_by_name.get(name)
+        if targets is None:
+            targets = [node.id for node in base.target.evaluate(document)]
+            targets_by_name[name] = targets
+        if not targets:
+            if len(targets_by_name) == len(chosen_names) and not any(
+                targets_by_name.values()
+            ):
+                raise ValueError(
+                    "no chosen update name resolves a target in this document"
+                )
+            continue
+        target_id = rng.choice(targets)
+        index = len(stream) + 1
+        if rng.random() < insert_ratio:
+            stream.append(
+                ResolvedInsertUpdate(
+                    [target_id], base.forest, name="%s#%d" % (name, index)
+                )
+            )
+        else:
+            stream.append(
+                ResolvedDeleteUpdate([target_id], name="%s_del#%d" % (name, index))
+            )
+    return stream

@@ -40,6 +40,7 @@ much more compact".
 
 from __future__ import annotations
 
+import bisect
 from typing import Iterator, Sequence, Tuple
 
 Ordinal = Tuple[int, ...]
@@ -353,3 +354,21 @@ class DeweyID:
             suffix = "_".join(str(part) for part in ordinal)
             rendered.append("%s%s" % (label, suffix))
         return ".".join(rendered)
+
+
+# -- sorted-list probes (Dewey order puts a subtree in one contiguous
+# run right after its root, so one bisect answers containment) ---------
+
+
+def has_strict_descendant(sorted_ids: Sequence["DeweyID"], ancestor: "DeweyID") -> bool:
+    """Does the sorted ID list hold a proper descendant of ``ancestor``?"""
+    position = bisect.bisect_right(sorted_ids, ancestor)
+    return position < len(sorted_ids) and ancestor.is_ancestor_of(sorted_ids[position])
+
+
+def has_descendant_or_self(sorted_ids: Sequence["DeweyID"], ancestor: "DeweyID") -> bool:
+    """Does the sorted ID list hold ``ancestor`` or a proper descendant?"""
+    position = bisect.bisect_left(sorted_ids, ancestor)
+    return position < len(sorted_ids) and ancestor.is_ancestor_or_self(
+        sorted_ids[position]
+    )

@@ -38,6 +38,13 @@ Invariants
     document and ``on_val_change`` for every element whose text
     descendants changed (the same ancestor walk that invalidates the
     ``val`` cache).
+
+    The pseudo-label ``"*"`` is served by an *all-labels* entry over
+    every element in the document, built lazily from the ``elements``
+    provider on the first wildcard σ lookup; from then on it is kept
+    incremental by the same notifications (restricted to element
+    nodes), so ``*``-labeled σ pattern nodes resolve without an
+    ``all_elements()`` scan.
 """
 
 from __future__ import annotations
@@ -174,6 +181,9 @@ class _ValueEntry:
         return list(self._nodes.get(value, ()))
 
 
+WILDCARD_LABEL = "*"
+
+
 class ValueIndex:
     """Lazy per-label value index over the canonical relations.
 
@@ -181,18 +191,30 @@ class ValueIndex:
     ``label`` whose current ``val`` equals ``value`` -- the σ-constant
     selection of :func:`repro.pattern.evaluate.sources_from_document` --
     in O(#dirty + #matches) instead of O(|R_label| · |subtree|).
+
+    ``lookup("*", value)`` answers wildcard σ nodes from an all-labels
+    entry over every element, built lazily from the ``elements``
+    provider (a callable returning the document's elements in document
+    order) and maintained incrementally afterwards.
     """
 
-    __slots__ = ("_label_index", "_entries")
+    __slots__ = ("_label_index", "_entries", "_elements")
 
-    def __init__(self, label_index: LabelIndex):
+    def __init__(self, label_index: LabelIndex, elements=None):
         self._label_index = label_index
         self._entries: Dict[str, _ValueEntry] = {}
+        #: document-ordered element provider backing the "*" entry.
+        self._elements = elements
 
     def lookup(self, label: str, value: str) -> List[Any]:
         entry = self._entries.get(label)
         if entry is None:
-            entry = _ValueEntry(self._label_index.nodes(label))
+            if label == WILDCARD_LABEL:
+                if self._elements is None:
+                    raise ValueError("no element provider for wildcard lookups")
+                entry = _ValueEntry(sorted(self._elements(), key=lambda n: n.id))
+            else:
+                entry = _ValueEntry(self._label_index.nodes(label))
             self._entries[label] = entry
         return entry.lookup(value)
 
@@ -202,13 +224,25 @@ class ValueIndex:
         entry = self._entries.get(node.label)
         if entry is not None:
             entry.mark(node)
+        if node.kind == "element":
+            wildcard = self._entries.get(WILDCARD_LABEL)
+            if wildcard is not None:
+                wildcard.mark(node)
 
     def on_remove(self, node: Any) -> None:
         entry = self._entries.get(node.label)
         if entry is not None:
             entry.discard(node)
+        if node.kind == "element":
+            wildcard = self._entries.get(WILDCARD_LABEL)
+            if wildcard is not None:
+                wildcard.discard(node)
 
     def on_val_change(self, node: Any) -> None:
         entry = self._entries.get(node.label)
         if entry is not None:
             entry.mark(node)
+        if node.kind == "element":
+            wildcard = self._entries.get(WILDCARD_LABEL)
+            if wildcard is not None:
+                wildcard.mark(node)

@@ -293,7 +293,7 @@ class Document:
         self.uri = uri
         self.root = root
         self._index = LabelIndex()
-        self._values = ValueIndex(self._index)
+        self._values = ValueIndex(self._index, elements=self.all_elements)
         self._by_id: Dict[DeweyID, Node] = {}
         # IDs of deleted nodes are *retired*, never reissued: node
         # identity is immutable (XDM) and the Dewey scheme guarantees
@@ -335,8 +335,15 @@ class Document:
 
     def nodes_with_value(self, label: str, constant: str) -> List[Node]:
         """σ-constant selection ``σ_{val=constant}(R_label)`` via the
-        value index (document-ordered, fresh list)."""
+        value index (document-ordered, fresh list).
+
+        ``label`` may be ``"*"``: the selection then runs over every
+        element via the lazily built all-labels entry, so wildcard σ
+        pattern nodes avoid the ``all_elements()`` scan.
+        """
         if not _USE_HOT_PATH_CACHES:
+            if label == "*":
+                return [n for n in self.all_elements() if n.val == constant]
             return [n for n in self._index.nodes(label) if n.val == constant]
         return self._values.lookup(label, constant)
 

@@ -1,0 +1,276 @@
+"""The batch pipeline's grand invariant, property-based:
+
+``BatchEngine.apply(batch)`` must leave the document *and* every
+maintained view (extent, derivation counts, snowcap lattice)
+byte-identical to sequential per-statement application -- for random
+documents/views/statement streams, for XMark streams drawn from the
+Appendix-A update set, and for coalescing-cancellation shapes (inserts
+merged into one statement, insert-then-delete round-trips that cancel
+out of both Δ sets).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.maintenance.engine import BatchEngine, MaintenanceEngine
+from repro.updates.language import (
+    DeleteUpdate,
+    InsertUpdate,
+    ResolvedInsertUpdate,
+    UpdateBatch,
+)
+from repro.updates.pul import compute_pul
+from repro.workloads.queries import view_pattern
+from repro.workloads.updates import delete_variant, insert_update, statement_stream
+from repro.workloads.xmark import generate_document
+from repro.xmldom.parser import parse_document
+from repro.xmldom.serializer import serialize_fragment
+from tests.test_property_maintenance import (
+    _random_document,
+    _random_update,
+    _random_view,
+)
+
+
+def _assert_equivalent(sequential_views, batch_views, sequential_doc, batch_doc):
+    assert serialize_fragment(sequential_doc.root) == serialize_fragment(batch_doc.root)
+    for name in sequential_views:
+        sequential_view = sequential_views[name]
+        batch_view = batch_views[name]
+        assert sequential_view.view.content() == batch_view.view.content(), name
+        assert batch_view.view.equals_fresh_evaluation(batch_doc), name
+        for subset in sequential_view.lattice.materialized_sets():
+            stored = sequential_view.lattice.relation_for(subset)
+            batched = batch_view.lattice.relation_for(subset)
+            assert sorted(
+                tuple(cell.id for cell in row) for row in stored.rows
+            ) == sorted(
+                tuple(cell.id for cell in row) for row in batched.rows
+            ), (name, sorted(subset))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_batch_equals_sequential_random_streams(seed):
+    rng = random.Random(seed)
+    text = serialize_fragment(_random_document(rng).root)
+    view = _random_view(rng)
+    strategy = rng.choice(("snowcaps", "leaves"))
+    statements = [_random_update(rng) for _ in range(rng.randint(1, 5))]
+
+    sequential_doc = parse_document(text)
+    sequential = MaintenanceEngine(sequential_doc)
+    sequential_view = sequential.register_view(view, "v", strategy=strategy)
+    applied = []
+    for statement in statements:
+        targets = statement.target.evaluate(sequential_doc)
+        if statement.kind == "insert" and any(
+            not hasattr(target, "children") for target in targets
+        ):
+            continue  # skip inserts into attribute/text targets
+        applied.append(statement)
+        sequential.apply_update(statement)
+
+    batch_doc = parse_document(text)
+    batched = BatchEngine(batch_doc)
+    batch_view = batched.register_view(view, "v", strategy=strategy)
+    batched.apply(UpdateBatch(applied))
+    _assert_equivalent(
+        {"v": sequential_view}, {"v": batch_view}, sequential_doc, batch_doc
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_batch_equals_sequential_xmark_streams(seed):
+    """Random XMark statement streams, including cancellation pairs."""
+    rng = random.Random(seed)
+    names = ("X1_L", "X2_L", "X3_A", "A6_A", "B3_LB", "B7_LB")
+    statements = []
+    for _ in range(rng.randint(3, 7)):
+        name = rng.choice(names)
+        statements.append(
+            insert_update(name) if rng.random() < 0.7 else delete_variant(name)
+        )
+    if rng.random() < 0.6:
+        # Coalescing-cancellation: insert a uniquely labeled subtree,
+        # then delete it within the same batch.
+        position = rng.randrange(len(statements) + 1)
+        statements.insert(
+            position,
+            InsertUpdate(
+                "/site/people/person", "<zzz>tmp<zzz>x</zzz></zzz>", name="tmp_ins"
+            ),
+        )
+        statements.insert(
+            rng.randrange(position + 1, len(statements) + 1),
+            DeleteUpdate("//zzz", name="tmp_del"),
+        )
+    views = ("Q1", "Q3")
+
+    sequential_doc = generate_document(scale=1)
+    sequential = MaintenanceEngine(sequential_doc)
+    sequential_views = {
+        name: sequential.register_view(view_pattern(name), name) for name in views
+    }
+    for statement in statements:
+        sequential.apply_update(statement)
+
+    batch_doc = generate_document(scale=1)
+    batched = BatchEngine(batch_doc)
+    batch_views = {
+        name: batched.register_view(view_pattern(name), name) for name in views
+    }
+    batched.apply(UpdateBatch(statements))
+    _assert_equivalent(sequential_views, batch_views, sequential_doc, batch_doc)
+
+
+def test_batch_equals_sequential_resolved_stream():
+    """The single-target write-stream shape the async queue produces."""
+    stream = statement_stream(
+        generate_document(scale=1), 24, seed=3, insert_ratio=0.7
+    )
+    sequential_doc = generate_document(scale=1)
+    sequential = MaintenanceEngine(sequential_doc)
+    sequential_view = sequential.register_view(view_pattern("Q1"), "Q1")
+    for statement in stream:
+        sequential.apply_update(statement)
+    batch_doc = generate_document(scale=1)
+    batched = BatchEngine(batch_doc)
+    batch_view = batched.register_view(view_pattern("Q1"), "Q1")
+    batched.apply(UpdateBatch(stream))
+    _assert_equivalent(
+        {"Q1": sequential_view}, {"Q1": batch_view}, sequential_doc, batch_doc
+    )
+
+
+class TestCoalescing:
+    def test_adjacent_resolved_inserts_merge(self):
+        document = generate_document(scale=1)
+        base = insert_update("X1_L")
+        target_id = compute_pul(document, base).inserts()[0].target.id
+        statements = [
+            ResolvedInsertUpdate([target_id], base.forest, name="a"),
+            ResolvedInsertUpdate([target_id], base.forest, name="b"),
+            ResolvedInsertUpdate([target_id], base.forest, name="c"),
+        ]
+        batch = UpdateBatch(statements).coalesced()
+        assert len(batch) == 1
+        assert "a" in batch.statements[0].name and "c" in batch.statements[0].name
+
+    def test_path_inserts_merge_only_when_safe(self):
+        safe = UpdateBatch(
+            [insert_update("X1_L"), insert_update("X1_L")]
+        ).coalesced()
+        assert len(safe) == 1  # <name> forest cannot extend /site/people/person
+        # Inserting <person> under persons could create new targets for
+        # the same path, so these must NOT merge.
+        risky = UpdateBatch(
+            [
+                InsertUpdate("/site/people/person", "<person>x</person>"),
+                InsertUpdate("/site/people/person", "<person>y</person>"),
+            ]
+        ).coalesced()
+        assert len(risky) == 2
+        # Predicate labels count too: inserting <phone> flips the filter.
+        predicate = UpdateBatch(
+            [
+                InsertUpdate("/site/people/person[phone]", "<phone>1</phone>"),
+                InsertUpdate("/site/people/person[phone]", "<phone>2</phone>"),
+            ]
+        ).coalesced()
+        assert len(predicate) == 2
+
+    def test_coalesced_batch_equals_sequential(self):
+        statements = [insert_update("X1_L"), insert_update("X1_L"), insert_update("X2_L")]
+        sequential_doc = generate_document(scale=1)
+        sequential = MaintenanceEngine(sequential_doc)
+        sequential_view = sequential.register_view(view_pattern("Q1"), "Q1")
+        for statement in statements:
+            sequential.apply_update(statement)
+        batch_doc = generate_document(scale=1)
+        batched = BatchEngine(batch_doc)
+        batch_view = batched.register_view(view_pattern("Q1"), "Q1")
+        report = batched.apply(UpdateBatch(statements))
+        assert report.statements_submitted == 3
+        assert report.statements_applied == 2  # X1_L pair merged
+        _assert_equivalent(
+            {"Q1": sequential_view}, {"Q1": batch_view}, sequential_doc, batch_doc
+        )
+
+    def test_insert_then_delete_cancels(self):
+        document = generate_document(scale=1)
+        engine = BatchEngine(document)
+        registered = engine.register_view(view_pattern("Q1"), "Q1")
+        before = registered.view.content()
+        report = engine.apply(
+            UpdateBatch(
+                [
+                    InsertUpdate("/site/people/person", "<zzz><zzz>x</zzz></zzz>"),
+                    DeleteUpdate("//zzz"),
+                ]
+            )
+        )
+        assert report.net_inserted == 0
+        assert report.net_removed == 0
+        assert report.cancelled > 0
+        assert registered.view.content() == before
+        assert registered.view.equals_fresh_evaluation(document)
+
+
+class TestBatchEngineApi:
+    def test_batch_of_one_shim_matches_per_statement(self):
+        statement = insert_update("X1_L")
+        sequential_doc = generate_document(scale=1)
+        sequential = MaintenanceEngine(sequential_doc)
+        sequential_view = sequential.register_view(view_pattern("Q1"), "Q1")
+        sequential.apply_update(statement)
+        batch_doc = generate_document(scale=1)
+        batched = BatchEngine(batch_doc)
+        batch_view = batched.register_view(view_pattern("Q1"), "Q1")
+        report = batched.apply_update(statement)
+        assert report.statements_applied == 1
+        _assert_equivalent(
+            {"Q1": sequential_view}, {"Q1": batch_view}, sequential_doc, batch_doc
+        )
+
+    def test_empty_batch_is_a_noop(self):
+        document = generate_document(scale=1)
+        engine = BatchEngine(document)
+        registered = engine.register_view(view_pattern("Q1"), "Q1")
+        before = registered.view.content()
+        report = engine.apply(UpdateBatch())
+        assert report.statements_applied == 0
+        assert registered.view.content() == before
+
+    def test_wraps_existing_engine_and_shares_views(self):
+        document = generate_document(scale=1)
+        inner = MaintenanceEngine(document)
+        inner.register_view(view_pattern("Q1"), "Q1")
+        facade = BatchEngine(inner)
+        assert facade.views is inner.views
+        with pytest.raises(ValueError):
+            BatchEngine(inner, prune_even_terms=False)
+
+    def test_failed_statement_restores_consistency(self):
+        document = generate_document(scale=1)
+        engine = BatchEngine(document)
+        registered = engine.register_view(view_pattern("Q1"), "Q1")
+        bad = InsertUpdate("/site/people/person/@id", "<x/>", name="bad")
+        with pytest.raises(ValueError):
+            engine.apply(UpdateBatch([insert_update("X1_L"), bad]))
+        # The first statement reached the document; the views were
+        # recomputed to match before the error surfaced.
+        assert registered.view.equals_fresh_evaluation(document)
+
+    def test_report_phase_times_populated(self):
+        document = generate_document(scale=1)
+        engine = BatchEngine(document)
+        engine.register_view(view_pattern("Q1"), "Q1")
+        report = engine.apply(UpdateBatch([insert_update("X1_L")]))
+        phases = report.report_for("Q1").phases
+        assert phases.find_target_nodes >= 0.0
+        assert phases.total() > 0.0
+        assert report.total_maintenance_seconds() >= phases.total()

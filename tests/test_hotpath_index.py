@@ -148,6 +148,79 @@ class TestValueIndex:
                 ), (step, constant)
 
 
+def _brute_force_wildcard(document, constant):
+    return [
+        node
+        for node in sorted(document.all_elements(), key=lambda n: n.id)
+        if fresh_val(node) == constant
+    ]
+
+
+class TestWildcardValueIndex:
+    """``nodes_with_value("*", c)``: the all-labels entry for σ nodes
+    labeled ``*`` (no more ``all_elements()`` scans per lookup)."""
+
+    def test_lookup_equals_scan_across_labels(self):
+        doc = parse_document("<r><a>x</a><b>x</b><c><d>x</d>y</c></r>")
+        assert doc.nodes_with_value("*", "x") == _brute_force_wildcard(doc, "x")
+        assert doc.nodes_with_value("*", "y") == _brute_force_wildcard(doc, "y")
+
+    def test_tracks_inserts_deletes_and_val_changes(self):
+        rng = random.Random(20260729)
+        doc = parse_document("<r><a>x</a><b>y</b><c><a>x</a></c></r>")
+        doc.nodes_with_value("*", "x")  # build the lazy entry up front
+        for step in range(40):
+            if rng.random() < 0.4:
+                candidates = [
+                    n
+                    for n in doc.root.self_and_descendants()
+                    if n is not doc.root and n.kind == "element"
+                ]
+                if candidates:
+                    doc.delete_subtree(rng.choice(candidates))
+            else:
+                parents = [
+                    n for n in doc.root.self_and_descendants() if n.kind == "element"
+                ]
+                snippet = rng.choice(
+                    ("<a>x</a>", "<b>y</b>", "<e/>", "<d><a>x</a></d>", "<w>z</w>")
+                )
+                doc.insert_subtree(rng.choice(parents), parse_document(snippet).root)
+            for constant in ("x", "y", "z", ""):
+                assert doc.nodes_with_value("*", constant) == _brute_force_wildcard(
+                    doc, constant
+                ), (step, constant)
+
+    def test_matches_uncached_path(self):
+        doc = parse_document("<r><a>x</a><b>x</b></r>")
+        indexed = doc.nodes_with_value("*", "x")
+        previous = set_hot_path_caches(False)
+        try:
+            assert doc.nodes_with_value("*", "x") == indexed
+        finally:
+            set_hot_path_caches(previous)
+
+    def test_wildcard_sigma_views_maintained(self):
+        """End-to-end: a view with a ``*``-labeled σ node stays exact
+        under maintenance (the engine resolves it via the index)."""
+        from repro.maintenance.engine import MaintenanceEngine
+        from repro.pattern.tree_pattern import Pattern, PatternNode
+        from repro.updates.language import DeleteUpdate, InsertUpdate
+
+        doc = parse_document("<r><a>x</a><b><c>q</c></b><d>x</d></r>")
+        root = PatternNode("r", axis="desc", store_id=True)
+        star = PatternNode(
+            "*", axis="desc", store_id=True, store_val=True, value_pred="x"
+        )
+        root.add_child(star)
+        engine = MaintenanceEngine(doc)
+        registered = engine.register_view(Pattern(root), "wild")
+        engine.apply_update(InsertUpdate("/r/b", "<e>x</e>"))
+        assert registered.view.equals_fresh_evaluation(doc)
+        engine.apply_update(DeleteUpdate("//a"))
+        assert registered.view.equals_fresh_evaluation(doc)
+
+
 class TestValContCaches:
     def test_val_cached_and_invalidated_along_ancestors(self):
         doc = parse_document("<r><a>x<b>y</b></a><c>z</c></r>")
