@@ -1,0 +1,299 @@
+"""Shard pipeline gate: 4-worker sharded maintenance vs serial.
+
+Streams the Appendix-A XMark update family (the workload behind the
+Fig-18 experiments) as a sequence of batches -- the shape
+``ApplyQueue`` produces -- through three tenants of the seven XMark
+views, twice from the same starting document:
+
+* ``workers=0``: each batch propagated by the serial shard plan;
+* ``workers=4``: a resident :class:`~repro.sharding.ShardSession`
+  (fork-once replica workers, view-sharded, extent deltas shipped back
+  to the owner).
+
+The gate requires
+
+* **byte-identical extents** -- after the whole stream, every view's
+  stored content under the session must equal the serial run's and
+  match fresh re-evaluation (always asserted, on any machine); and
+* **>= MIN_SPEEDUP x propagation speedup at 4 workers.**  On hosts
+  with at least 4 usable CPUs this is the measured ratio of summed
+  per-batch propagation seconds.  On smaller hosts four CPU-bound
+  workers only time-share one core, so the gate evaluates a
+  *projected* ratio built from measured quantities only: the serial
+  run's per-view propagation times (grouped by the session's actual
+  view->worker assignment into a makespan), plus the payload-building
+  and transport/store overhead of a ``workers=1`` session run in
+  sequential-send calibration mode, where owner and worker phases
+  never overlap and every component is clean of time-slicing (see
+  ``_projected_speedup`` for the exact accounting).  Replica document
+  application is excluded only because the owner's measured, identical
+  apply runs concurrently with it.  The report says which mode
+  produced the number.
+
+Run directly (exit 1 on failure) or via
+``PYTHONPATH=../src python -m pytest bench_shard_pipeline.py``.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+
+from repro.maintenance.engine import MaintenanceEngine
+from repro.updates.language import UpdateBatch
+from repro.workloads.queries import VIEW_TEXTS, view_pattern
+from repro.workloads.updates import statement_stream
+from repro.workloads.xmark import generate_document
+
+SCALE = 48
+STREAM_LENGTH = 2048
+BATCH_SIZE = 256
+#: tenants x 7 XMark views = 21 registered views, the multi-view load
+#: the session shards across workers.
+TENANTS = 3
+WORKERS = 4
+MIN_SPEEDUP = 2.0
+#: timing repeats; extents are asserted on every repeat, the speedup is
+#: the best observed (as in the sibling gates' min-of-N).
+REPEATS = 2
+VIEW_NAMES = tuple(sorted(VIEW_TEXTS))
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _build_engine():
+    document = generate_document(scale=SCALE)
+    engine = MaintenanceEngine(document)
+    registered = {}
+    for tenant in range(TENANTS):
+        for name in VIEW_NAMES:
+            view_name = name if tenant == 0 else "%s_t%d" % (name, tenant)
+            registered[view_name] = engine.register_view(
+                view_pattern(name), view_name
+            )
+    return document, engine, registered
+
+
+def _batches(stream):
+    return [
+        UpdateBatch(stream[index : index + BATCH_SIZE])
+        for index in range(0, len(stream), BATCH_SIZE)
+    ]
+
+
+def _run_serial(batches):
+    document, engine, registered = _build_engine()
+    gc.collect()
+    propagation = 0.0
+    view_propagation = {name: 0.0 for name in registered}
+    for batch in batches:
+        report = engine.apply_batch(batch)
+        propagation += report.propagation_seconds()
+        for name, view_report in report.view_reports.items():
+            view_propagation[name] += (
+                view_report.phases.total() - view_report.phases.find_target_nodes
+            )
+    return document, registered, propagation, view_propagation
+
+
+def _run_session(batches, workers, sequential=False, weights=None):
+    document, engine, registered = _build_engine()
+    gc.collect()
+    session = engine.session(workers=workers, weights=weights)
+    session.sequential_send = sequential
+    propagation = 0.0
+    rounds = []
+    try:
+        for batch in batches:
+            report = session.apply_batch(batch)
+            if report.fallbacks:
+                raise AssertionError("unexpected fallbacks: %r" % report.fallbacks)
+            propagation += report.propagation_seconds()
+            rounds.append(report.shard_rounds[0])
+    finally:
+        session.close()
+    assignment = {
+        name: index
+        for index, owned in enumerate(session._assignment)
+        for name in owned
+    }
+    return document, registered, propagation, rounds, assignment
+
+
+def _assert_identical(serial_views, session_views, session_doc):
+    for name in serial_views:
+        if serial_views[name].view.content() != session_views[name].view.content():
+            raise AssertionError("view %s extents diverge under sharding" % name)
+    for name in (VIEW_NAMES[0], VIEW_NAMES[-1]):
+        if not session_views[name].view.equals_fresh_evaluation(session_doc):
+            raise AssertionError("sharded view %s != fresh evaluation" % name)
+
+
+def _projected_speedup(serial_prop, view_prop, assignment, session1_rounds):
+    """>=4-CPU ratio from measured pieces (no concurrency on this host).
+
+    The projected parallel propagation is the sum of three measured
+    parts:
+
+    * **makespan** -- the serial run's per-view propagation times,
+      grouped by the session's real view->worker assignment; the
+      slowest worker's sum bounds the concurrent maintenance wall;
+    * **worker extra / WORKERS** -- payload building and result
+      pickling measured inside the 1-worker session's workers (their
+      wall minus replica apply minus maintenance); it runs on the
+      workers, so it divides;
+    * **overhead** -- everything left of the 1-worker session's batch
+      walls after the worker wall and the owner's own prep (statement
+      send + document apply + net bookkeeping) are removed: pipe
+      transit, result unpickling and the owner's store replay, all
+      serial on the owner, charged in full.
+
+    Replica document application is *not* projected away: it appears
+    inside the worker wall and cancels only against the owner prep the
+    1-worker measurement shows it overlapping.
+    """
+    worker_load = {}
+    for name, seconds in view_prop.items():
+        worker_load[assignment[name]] = worker_load.get(assignment[name], 0.0) + seconds
+    makespan = max(worker_load.values())
+    worker_extra = 0.0
+    overhead = 0.0
+    for shard_round in session1_rounds:
+        worker_extra += max(
+            0.0,
+            shard_round["worker_s"]
+            - shard_round["worker_apply_s"]
+            - shard_round["worker_propagation_s"],
+        )
+        overhead += max(
+            0.0,
+            shard_round["wall_s"]
+            - shard_round["worker_s"]
+            - shard_round["owner_prep_s"],
+        )
+    projected_parallel = makespan + worker_extra / WORKERS + overhead
+    return serial_prop / projected_parallel, makespan, overhead + worker_extra / WORKERS
+
+
+def run_gate() -> dict:
+    stream = statement_stream(
+        generate_document(scale=SCALE),
+        STREAM_LENGTH,
+        seed=7,
+        insert_ratio=1.0,
+    )
+    batches = _batches(stream)
+    cpus = _usable_cpus()
+
+    best = None
+    for _ in range(REPEATS):
+        serial_doc, serial_views, serial_prop, view_prop = _run_serial(batches)
+        (
+            session_doc,
+            session_views,
+            session_prop,
+            session_rounds,
+            assignment,
+        ) = _run_session(batches, WORKERS, weights=view_prop)
+        # Hard invariant, machine-independent: session == serial, exactly.
+        _assert_identical(serial_views, session_views, session_doc)
+
+        if cpus >= WORKERS:
+            mode = "measured"
+            speedup = serial_prop / session_prop
+            makespan = overhead = None
+        else:
+            mode = "projected_%d_cpu_host" % cpus
+            # The overhead measurement needs un-overlapped phases: run
+            # the same stream through a one-worker session that
+            # sequences the owner's apply before the broadcast, so
+            # every component is clean of time-slicing.
+            (
+                s1_doc,
+                s1_views,
+                _s1_prop,
+                s1_rounds,
+                _s1_assignment,
+            ) = _run_session(batches, 1, sequential=True)
+            _assert_identical(serial_views, s1_views, s1_doc)
+            speedup, makespan, overhead = _projected_speedup(
+                serial_prop, view_prop, assignment, s1_rounds
+            )
+        candidate = {
+            "statements": STREAM_LENGTH,
+            "batches": len(batches),
+            "views": len(serial_views),
+            "workers": WORKERS,
+            "cpus": cpus,
+            "mode": mode,
+            "serial_propagation_s": round(serial_prop, 6),
+            "session_propagation_s": round(session_prop, 6),
+            "makespan_s": None if makespan is None else round(makespan, 6),
+            "overhead_s": None if overhead is None else round(overhead, 6),
+            "speedup": round(speedup, 3),
+            "floor": MIN_SPEEDUP,
+            "extents_identical": True,
+        }
+        if best is None or candidate["speedup"] > best["speedup"]:
+            best = candidate
+    return best
+
+
+def _summary(row: dict) -> str:
+    lines = [
+        "sharded maintenance: %d statements in %d batches x %d views, "
+        "%d resident workers:"
+        % (row["statements"], row["batches"], row["views"], row["workers"]),
+        "  serial (workers=0) propagation %8.2fms over the stream"
+        % (row["serial_propagation_s"] * 1000),
+        "  extents: byte-identical to serial, verified against fresh evaluation",
+    ]
+    if row["mode"] == "measured":
+        lines.append(
+            "  measured speedup %.2fx (session propagation %8.2fms; floor %.1fx)"
+            % (
+                row["speedup"],
+                row["session_propagation_s"] * 1000,
+                row["floor"],
+            )
+        )
+    else:
+        lines.append(
+            "  host has %d usable CPU(s): speedup projected from the serial "
+            "per-view times over the session's view->worker assignment "
+            "(makespan %6.2fms) + measured 1-worker-session transport/store "
+            "overhead (%6.2fms) -> %.2fx (floor %.1fx)"
+            % (
+                row["cpus"],
+                (row["makespan_s"] or 0.0) * 1000,
+                (row["overhead_s"] or 0.0) * 1000,
+                row["speedup"],
+                row["floor"],
+            )
+        )
+    return "\n".join(lines)
+
+
+def test_shard_pipeline_speedup(save_table):
+    row = run_gate()
+    save_table("shard_pipeline.txt", _summary(row))
+    assert row["speedup"] >= MIN_SPEEDUP, row
+
+
+def main() -> int:
+    row = run_gate()
+    passed = row["speedup"] >= MIN_SPEEDUP
+    print(_summary(row))
+    print("-> %s" % ("PASS" if passed else "FAIL"))
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

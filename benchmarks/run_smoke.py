@@ -140,10 +140,13 @@ def _check_batch_equivalence() -> dict:
 
 
 def _append_run(run: dict) -> None:
-    """Append one run entry to the trajectory file (never overwrite).
+    """Record one run entry in the trajectory file.
 
     Pre-trajectory files (a single run dict) are migrated into the
-    first entry of the new ``runs`` list.
+    first entry of the ``runs`` list.  One entry per commit: re-running
+    at the same git SHA replaces the earlier entry for that SHA instead
+    of appending a duplicate (unknown SHAs always append, so local
+    tarball runs still accumulate).
     """
     history: dict = {"runs": []}
     if os.path.exists(OUT_PATH):
@@ -158,6 +161,11 @@ def _append_run(run: dict) -> None:
             elif existing:
                 existing.setdefault("git_sha", "pre-trajectory")
                 history["runs"] = [existing]
+    sha = run.get("git_sha")
+    if sha and sha != "unknown":
+        history["runs"] = [
+            entry for entry in history["runs"] if entry.get("git_sha") != sha
+        ]
     history["runs"].append(run)
     os.makedirs(os.path.dirname(OUT_PATH), exist_ok=True)
     with open(OUT_PATH, "w") as handle:

@@ -116,5 +116,8 @@ class Relation:
 
     def reordered(self, schema: Sequence[str]) -> "Relation":
         """The same bag with columns rearranged to ``schema``."""
+        schema = tuple(schema)
+        if schema == self.schema:
+            return self  # column order already matches; skip the row copy
         indices = [self.column_index(name) for name in schema]
         return Relation(schema, [tuple(row[i] for i in indices) for row in self.rows])

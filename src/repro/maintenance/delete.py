@@ -57,6 +57,67 @@ def surviving_delete_terms(
     return terms, developed
 
 
+def collect_delete_embeddings(
+    pattern: Pattern,
+    terms: Sequence[Term],
+    r_sources: Sources,
+    deltas: DeltaTables,
+    lattice: Optional[SnowcapLattice] = None,
+) -> Tuple[Dict[tuple, tuple], float]:
+    """Evaluate deletion terms into ``{binding ID key: projected row}``.
+
+    The map keeps one entry per distinct doomed embedding, keyed by the
+    embedding's binding IDs -- the representation the sharded pipeline
+    merges across workers (cross-term duplicates collapse under dict
+    union because projection is a function of the binding alone).
+    Returns the map plus term-evaluation seconds.
+    """
+    import time
+
+    embeddings: Dict[tuple, tuple] = {}
+    eval_seconds = 0.0
+    for term in terms:
+        if term.sign < 0:
+            continue  # add-back terms are subsumed under binding-set semantics
+        started = time.perf_counter()
+        bindings = evaluate_term(pattern, term, r_sources, deltas, lattice)
+        eval_seconds += time.perf_counter() - started
+        if not bindings.rows:
+            continue
+        fresh_rows = []
+        fresh_keys = []
+        for row in bindings.rows:
+            key = tuple(cell.id for cell in row)
+            if key in embeddings:
+                continue
+            embeddings[key] = ()  # reserve; projected below
+            fresh_keys.append(key)
+            fresh_rows.append(row)
+        if not fresh_rows:
+            continue
+        projected = project_bindings(
+            pattern, type(bindings)(bindings.schema, fresh_rows)
+        )
+        for key, row in zip(fresh_keys, projected.rows):
+            embeddings[key] = row
+    return embeddings, eval_seconds
+
+
+def removals_from_embeddings(embeddings: Dict[tuple, tuple]) -> Dict[tuple, int]:
+    """Count distinct doomed embeddings per projected view tuple.
+
+    Iterates binding keys in Dewey order so the resulting dict is
+    deterministic regardless of which worker produced which fragment.
+    """
+    removals: Dict[tuple, int] = {}
+    for key in sorted(
+        embeddings, key=lambda ids: tuple(node_id.sort_key for node_id in ids)
+    ):
+        row = embeddings[key]
+        removals[row] = removals.get(row, 0) + 1
+    return removals
+
+
 def et_del(
     view: MaterializedView,
     terms: Sequence[Term],
@@ -76,34 +137,16 @@ def et_del(
     it}, term-evaluation seconds)``; the embedding counts are precisely
     the derivations to subtract.
     """
-    import time
-
-    pattern = view.pattern
-    seen_bindings: set = set()
+    embeddings, eval_seconds = collect_delete_embeddings(
+        view.pattern, terms, r_sources, deltas, lattice
+    )
+    # Plain counting in first-occurrence order: both consumers
+    # (pddt_apply decrements, apply_batch_delta's sorted store pass)
+    # are order-independent, so the Dewey sort of
+    # removals_from_embeddings would be pure overhead here.
     removals: Dict[tuple, int] = {}
-    eval_seconds = 0.0
-    for term in terms:
-        if term.sign < 0:
-            continue  # add-back terms are subsumed under binding-set semantics
-        started = time.perf_counter()
-        bindings = evaluate_term(pattern, term, r_sources, deltas, lattice)
-        eval_seconds += time.perf_counter() - started
-        if not bindings.rows:
-            continue
-        fresh_rows = []
-        for row in bindings.rows:
-            key = tuple(cell.id for cell in row)
-            if key in seen_bindings:
-                continue
-            seen_bindings.add(key)
-            fresh_rows.append(row)
-        if not fresh_rows:
-            continue
-        projected = project_bindings(
-            pattern, type(bindings)(bindings.schema, fresh_rows)
-        )
-        for row in projected.rows:
-            removals[row] = removals.get(row, 0) + 1
+    for row in embeddings.values():
+        removals[row] = removals.get(row, 0) + 1
     return removals, eval_seconds
 
 

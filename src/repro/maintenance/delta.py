@@ -12,6 +12,7 @@ filtered by the view node's σ value predicate up front -- the paper's
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import Dict, List, Sequence
 
 from repro.pattern.evaluate import filter_by_predicate
@@ -63,11 +64,20 @@ class BatchCandidates:
 
     __slots__ = ("nodes", "by_label")
 
+    #: document-order key read via C-level dotted attrgetter (every
+    #: candidate is attached or detached-with-ID, so ``dewey`` is set).
+    _order = attrgetter("dewey._key")
+
     def __init__(self, nodes: Sequence[Node]):
-        self.nodes: List[Node] = sorted(nodes, key=lambda n: n.id)
-        self.by_label: Dict[str, List[Node]] = {}
+        self.nodes: List[Node] = sorted(nodes, key=BatchCandidates._order)
+        by_label: Dict[str, List[Node]] = {}
         for node in self.nodes:
-            self.by_label.setdefault(node.label, []).append(node)
+            bucket = by_label.get(node.label)
+            if bucket is None:
+                by_label[node.label] = [node]
+            else:
+                bucket.append(node)
+        self.by_label = by_label
 
     def __len__(self) -> int:
         return len(self.nodes)

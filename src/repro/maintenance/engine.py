@@ -31,10 +31,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.maintenance.delta import (
     BatchCandidates,
-    DeltaTables,
     compute_delta_minus,
     compute_delta_plus,
-    delta_from_candidates,
     doomed_nodes,
 )
 from repro.maintenance.delete import (
@@ -44,13 +42,21 @@ from repro.maintenance.delete import (
     surviving_delete_terms,
 )
 from repro.maintenance.insert import (
-    collect_insert_additions,
+    apply_attribute_refreshes,
     et_ins,
     pimt,
-    refresh_stored_attributes,
     snowcap_additions,
     surviving_insert_terms,
 )
+# Module-object imports: repro.sharding.units imports this package's
+# sibling modules, so binding the submodules (attributes resolved at
+# call time) instead of their names keeps either import order --
+# ``import repro.maintenance`` or ``import repro.sharding`` first --
+# cycle-free.
+from repro.sharding import executor as _shard_executor
+from repro.sharding import merge as _shard_merge
+from repro.sharding import planner as _shard_planner
+from repro.sharding import units as _shard_units
 from repro.pattern.evaluate import Sources, filter_by_predicate
 from repro.pattern.tree_pattern import Pattern
 from repro.pattern.xquery import ViewDefinition
@@ -184,19 +190,33 @@ class BatchReport:
         self.cancelled = 0
         #: view name -> reason the per-view recompute fallback fired.
         self.fallbacks: Dict[str, str] = {}
+        #: worker count the propagation round actually fanned out to
+        #: (0 = serial execution of the shard plan).
+        self.workers = 0
+        #: view name -> {"refresh", "additions", "removals"} extent
+        #: deltas, recorded only when the engine's ``record_deltas`` is
+        #: set (shard-session replica workers ship these to the owner).
+        self.view_deltas: Optional[Dict[str, Dict]] = None
+        #: wall-clock seconds spent inside parallel shard rounds
+        #: (0 in serial mode, where unit time lands in per-view phases).
+        self.shard_seconds = 0.0
+        #: one entry per executed shard round: mode, wall/worker
+        #: seconds and per-unit timing (see RoundResult.describe).
+        self.shard_rounds: List[Dict] = []
 
     def report_for(self, name: str) -> ViewReport:
         return self.view_reports[name]
 
     def total_maintenance_seconds(self) -> float:
-        return self.net_effects_seconds + sum(
+        return self.net_effects_seconds + self.shard_seconds + sum(
             report.phases.total() for report in self.view_reports.values()
         )
 
     def propagation_seconds(self) -> float:
         """Maintenance-phase seconds with the shared find-targets time
-        excluded; the once-per-batch net Δ construction is counted once."""
-        return self.net_effects_seconds + sum(
+        excluded; the once-per-batch net Δ construction and the wall
+        time of parallel shard rounds are each counted once."""
+        return self.net_effects_seconds + self.shard_seconds + sum(
             report.phases.total() - report.phases.find_target_nodes
             for report in self.view_reports.values()
         )
@@ -233,6 +253,33 @@ class RegisteredView:
         )
 
 
+class _ViewRound:
+    """Mutable per-view state threaded through one batch shard round."""
+
+    __slots__ = (
+        "name",
+        "registered",
+        "report",
+        "has_minus_unit",
+        "has_plus_unit",
+        "minus_live",
+        "removals",
+        "additions",
+        "snowcap",
+    )
+
+    def __init__(self, name: str, registered: "RegisteredView", report: ViewReport):
+        self.name = name
+        self.registered = registered
+        self.report = report
+        self.has_minus_unit = False
+        self.has_plus_unit = False
+        self.minus_live = False
+        self.removals: Dict[tuple, int] = {}
+        self.additions: Dict[tuple, int] = {}
+        self.snowcap: Optional[dict] = None
+
+
 def _watch_entries(
     sigma_nodes: Sequence, chain: Sequence[Node]
 ) -> List[Tuple[DeweyID, str, bool]]:
@@ -267,11 +314,25 @@ class MaintenanceEngine:
         prune_even_terms: bool = True,
         use_data_pruning: bool = True,
         use_id_pruning: bool = True,
+        workers: int = 0,
+        shard_plan: "Union[None, int, _shard_planner.ShardPlanner]" = None,
     ):
         self.document = document
         self.prune_even_terms = prune_even_terms
         self.use_data_pruning = use_data_pruning
         self.use_id_pruning = use_id_pruning
+        #: default worker count for ``apply_batch`` (0 = in-process).
+        self.workers = workers
+        #: default shard planner (or shard count) for ``apply_batch``.
+        self.shard_plan = shard_plan
+        #: when True, ``apply_batch`` reports carry ``view_deltas`` --
+        #: the exact extent-delta inputs of every view's store pass
+        #: (used by shard-session replica workers).
+        self.record_deltas = False
+        #: set by an attached :class:`~repro.sharding.ShardSession`:
+        #: while workers maintain the replicas, the owner's lattices are
+        #: stale and direct propagation must go through the session.
+        self._shard_session_active = False
         self.views: Dict[str, RegisteredView] = {}
 
     # -- registration ------------------------------------------------------
@@ -291,6 +352,9 @@ class MaintenanceEngine:
         expected to update, steering the cost-based snowcap selection
         (Section 3.5).
         """
+        # A live ShardSession's workers hold the view partition; adding
+        # or removing views behind its back desynchronizes the replicas.
+        self._check_no_active_session()
         definition: Optional[ViewDefinition] = None
         if isinstance(view_source, str):
             from repro.pattern.xquery import parse_view
@@ -313,6 +377,7 @@ class MaintenanceEngine:
         return registered
 
     def unregister_view(self, name: str) -> None:
+        self._check_no_active_session()
         del self.views[name]
 
     # -- source relations ---------------------------------------------------
@@ -322,6 +387,7 @@ class MaintenanceEngine:
         pattern: Pattern,
         excluded_ids: set,
         cache: Optional[Dict[str, List[Node]]] = None,
+        excluded_labels: Optional[set] = None,
     ) -> Sources:
         """σ-filtered canonical relations, minus the given node IDs.
 
@@ -333,9 +399,12 @@ class MaintenanceEngine:
         ``cache`` (optional, label-keyed) shares the unpredicated
         post-exclusion rows across calls with the same ``excluded_ids``
         -- the batch pipeline passes one per batch so multi-view
-        maintenance filters each label once.
+        maintenance filters each label once.  ``excluded_labels`` lets
+        callers that already know the excluded IDs' label set skip its
+        recomputation (it is O(|excluded_ids|)).
         """
-        excluded_labels = {node_id.label for node_id in excluded_ids}
+        if excluded_labels is None:
+            excluded_labels = {node_id.label for node_id in excluded_ids}
         sources: Sources = {}
         for node in pattern.nodes():
             if node.label == "*" and node.value_pred is None:
@@ -379,8 +448,26 @@ class MaintenanceEngine:
 
     # -- propagation ------------------------------------------------------------
 
+    def _check_no_active_session(self) -> None:
+        if self._shard_session_active:
+            raise RuntimeError(
+                "engine is driven by an active ShardSession; apply through "
+                "the session (or close it) instead"
+            )
+
+    def session(self, workers: int = 4, planner=None, weights=None):
+        """A resident :class:`~repro.sharding.ShardSession` over this
+        engine: fork-once replica workers maintaining the views batch
+        by batch (pair with ``ApplyQueue(engine.session(...))`` for a
+        streaming write path).  ``weights`` optionally gives relative
+        per-view maintenance costs for the worker assignment."""
+        from repro.sharding.session import ShardSession
+
+        return ShardSession(self, workers=workers, planner=planner, weights=weights)
+
     def apply_update(self, statement: UpdateStatement) -> PropagationReport:
         """Propagate one statement: document update + all views."""
+        self._check_no_active_session()
         if isinstance(statement, InsertUpdate):
             return self._apply_insert(statement)
         if isinstance(statement, DeleteUpdate):
@@ -566,7 +653,10 @@ class MaintenanceEngine:
     # -- batches (one propagation round per statement group) --------------------
 
     def apply_batch(
-        self, batch: Union[UpdateBatch, Sequence[UpdateStatement]]
+        self,
+        batch: Union[UpdateBatch, Sequence[UpdateStatement]],
+        workers: Optional[int] = None,
+        shard_plan: "Union[None, int, _shard_planner.ShardPlanner]" = None,
     ) -> BatchReport:
         """Propagate a whole batch: k statements, one maintenance round.
 
@@ -579,6 +669,17 @@ class MaintenanceEngine:
         and one lattice pass per view.  Nodes inserted and deleted
         within the batch cancel out of both Δ sets.
 
+        The view-side round is organized as a shard plan (see
+        :mod:`repro.sharding`): the planner hashes the batch's Δ labels
+        into shard groups and cuts the per-view propagation work into
+        independent units.  With ``workers=0`` (the default) the units
+        run in-process; with ``workers=N`` they fan out on a worker
+        pool (fork process pool where available) and the returned
+        fragments are merged deterministically, so the resulting
+        extents are byte-identical either way.  ``workers`` /
+        ``shard_plan`` (a :class:`~repro.sharding.ShardPlanner` or a
+        shard count) override the engine-level defaults per call.
+
         Exactness: embeddings built purely from surviving pre-batch
         nodes are state-independent unless a σ predicate flipped
         (caught by the merged watchlists, per-view recompute fallback)
@@ -586,6 +687,13 @@ class MaintenanceEngine:
         removal (caught by the dirty-subtree guard, same fallback), so
         the final extents always equal sequential application.
         """
+        self._check_no_active_session()
+        effective_workers = self.workers if workers is None else workers
+        planner = _shard_planner.ShardPlanner.coerce(
+            shard_plan if shard_plan is not None else self.shard_plan,
+            effective_workers,
+        )
+        executor = _shard_executor.ShardExecutor(effective_workers)
         if isinstance(batch, UpdateBatch):
             submitted = len(batch)
             statements = batch.coalesced().statements
@@ -595,6 +703,8 @@ class MaintenanceEngine:
         report = BatchReport(statements)
         report.statements_submitted = submitted
         report.statements_applied = len(statements)
+        if self.record_deltas:
+            report.view_deltas = {}
         if not statements:
             return report
 
@@ -691,6 +801,8 @@ class MaintenanceEngine:
                 delete_target_ids=delete_target_ids,
                 survivor_cache=survivor_cache,
                 pre_batch_cache=pre_batch_cache,
+                planner=planner,
+                executor=executor,
             )
         except BaseException:
             # A failure mid-propagation leaves the failing view (and
@@ -718,8 +830,32 @@ class MaintenanceEngine:
         delete_target_ids: Sequence[DeweyID],
         survivor_cache: Dict[str, List[Node]],
         pre_batch_cache: Dict[str, List[Node]],
+        planner: "_shard_planner.ShardPlanner",
+        executor: "_shard_executor.ShardExecutor",
     ) -> None:
-        """One maintenance round per registered view (apply_batch body)."""
+        """The batch's view-side round: plan, execute shards, merge.
+
+        The round runs in stages shared by the serial and parallel
+        paths (so there is exactly one propagation code body):
+
+        1. per view, the recompute-fallback guards, then the pure work
+           is cut into shard units (refresh scan, Δ− side, Δ+ side);
+        2. if any view has a live Δ− side, a first shard round runs the
+           refresh scans and the Δ− evaluations -- both read pre-batch
+           state -- and the doomed lattice rows are dropped;
+        3. a second round (the only one for insert-only batches) runs
+           the Δ+ evaluations and snowcap additions over survivor
+           relations;
+        4. fragments are merged deterministically and applied: one
+           store pass and one lattice extend per view.
+
+        Mutation happens only between rounds, on the owning process;
+        units are pure, which is what makes the fan-out exact.
+        """
+        serial = not executor.parallel
+        report.workers = executor.workers if executor.parallel else 0
+
+        contexts: List[_ViewRound] = []
         for name, registered in self.views.items():
             view_report = ViewReport(name)
             view_report.targets = len(insert_target_ids) + len(delete_target_ids)
@@ -737,123 +873,261 @@ class MaintenanceEngine:
                 view_report.predicate_fallback = True
                 report.fallbacks[name] = reason
                 continue
-
-            started = time.perf_counter()
-            delta_plus = delta_from_candidates(pattern, inserted_candidates, "+")
-            delta_minus = delta_from_candidates(pattern, removed_candidates, "-")
-            view_report.phases.compute_delta_tables = time.perf_counter() - started
             view_report.delta_sizes = {
-                node_name: len(delta_plus.nodes(node_name))
-                + len(delta_minus.nodes(node_name))
-                for node_name in pattern.node_names()
+                node_name: 0 for node_name in pattern.node_names()
             }
+            contexts.append(_ViewRound(name, registered, view_report))
+        if not contexts:
+            return
 
-            # 1. Merged PIMT/PDMT refresh -- one extent snapshot per
-            # batch; stored survivors now carry final val/cont, the
-            # convention both Δ sides project below.
-            started = time.perf_counter()
-            view_report.tuples_modified = refresh_stored_attributes(
-                registered.view, self.document, insert_target_ids, delete_target_ids
-            )
-            view_report.phases.execute_update += time.perf_counter() - started
-
-            # Rows of the batch's Δ sets that this view's σ-filtered
-            # tables actually see; an all-empty side is skipped whole
-            # (no embedding, view or snowcap, can bind such a node).
-            minus_live = bool(delta_minus.nonempty_names())
-            plus_live = bool(delta_plus.nonempty_names())
-
-            # 2. Deletion side, against the reconstructed pre-batch
-            # relations (the lattice still holds pre-batch rows: exactly
-            # the old R the difference expression reads).
-            removals: Dict[tuple, int] = {}
-            if minus_live:
+        # -- plan: cut per-view work into shard units ------------------
+        refresh_units: List[RefreshUnit] = []
+        minus_units: List[DeleteSideUnit] = []
+        plus_units: List[InsertSideUnit] = []
+        by_name = {ctx.name: ctx for ctx in contexts}
+        any_targets = bool(insert_target_ids or delete_target_ids)
+        for ctx in contexts:
+            pattern = ctx.registered.pattern
+            if any_targets and pattern.content_nodes():
+                refresh_units.append(
+                    _shard_units.RefreshUnit(
+                        ctx.name,
+                        planner.anchor_shard(()),
+                        view=ctx.registered.view,
+                        document=self.document,
+                        insert_target_ids=insert_target_ids,
+                        delete_target_ids=delete_target_ids,
+                    )
+                )
+            minus_labels = planner.touched_labels(pattern, removed_candidates)
+            if minus_labels:
+                estimate = sum(
+                    len(removed_candidates.by_label.get(label, ()))
+                    for label in minus_labels
+                )
+                minus_units.append(
+                    _shard_units.DeleteSideUnit(
+                        ctx.name,
+                        planner.anchor_shard(minus_labels),
+                        minus_labels,
+                        estimate,
+                        engine=self,
+                        registered=ctx.registered,
+                        removed_candidates=removed_candidates,
+                        inserted_ids=inserted_ids,
+                        inserted_labels=inserted_labels,
+                        source_cache=pre_batch_cache,
+                    )
+                )
+                ctx.has_minus_unit = True
+            plus_labels = planner.touched_labels(pattern, inserted_candidates)
+            if plus_labels:
+                estimate = sum(
+                    len(inserted_candidates.by_label.get(label, ()))
+                    for label in plus_labels
+                )
+                plus_units.append(
+                    _shard_units.InsertSideUnit(
+                        ctx.name,
+                        planner.anchor_shard(plus_labels),
+                        plus_labels,
+                        estimate,
+                        engine=self,
+                        registered=ctx.registered,
+                        inserted_candidates=inserted_candidates,
+                        inserted_ids=inserted_ids,
+                        inserted_labels=inserted_labels,
+                        insert_target_ids=insert_target_ids,
+                        source_cache=survivor_cache,
+                    )
+                )
+                ctx.has_plus_unit = True
+        if executor.parallel:
+            self._prewarm_value_index(contexts)
+            # Fill the shared per-label source rows in the parent so
+            # every worker inherits them read-only (fork: copy-on-write
+            # pages; thread: plain reads).  Without this each child
+            # would re-filter the touched canonical relations -- once
+            # per view per worker -- and the threaded fallback would
+            # race on the shared cache dicts.
+            if minus_units:
                 started = time.perf_counter()
-                del_terms, del_developed = surviving_delete_terms(
-                    pattern,
-                    delta_minus,
-                    self.prune_even_terms,
-                    self.use_data_pruning,
-                    self.use_id_pruning,
-                )
-                view_report.phases.get_update_expression += (
-                    time.perf_counter() - started
-                )
-                view_report.terms_developed += del_developed
-                view_report.terms_surviving += len(del_terms)
+                for ctx in contexts:
+                    if ctx.has_minus_unit:
+                        self._sources_pre_batch(
+                            ctx.registered.pattern,
+                            inserted_ids,
+                            inserted_labels,
+                            removed_candidates,
+                            pre_batch_cache,
+                        )
+                        ctx.report.phases.execute_update += (
+                            time.perf_counter() - started
+                        )
+                        started = time.perf_counter()
+            if plus_units:
                 started = time.perf_counter()
-                old_sources = self._sources_pre_batch(
-                    pattern,
-                    inserted_ids,
-                    inserted_labels,
-                    removed_candidates,
-                    pre_batch_cache,
-                )
-                removals, eval_seconds = et_del(
-                    registered.view, del_terms, old_sources, delta_minus,
-                    registered.lattice,
-                )
-                view_report.term_eval_seconds += eval_seconds
-                view_report.phases.execute_update += time.perf_counter() - started
+                for ctx in contexts:
+                    if ctx.has_plus_unit:
+                        self._sources_excluding(
+                            ctx.registered.pattern,
+                            inserted_ids,
+                            cache=survivor_cache,
+                            excluded_labels=inserted_labels,
+                        )
+                        ctx.report.phases.execute_update += (
+                            time.perf_counter() - started
+                        )
+                        started = time.perf_counter()
 
-            # 3. Drop doomed lattice rows *before* the insertion side
-            # reads lattice relations as R-parts.
-            if minus_live:
-                started = time.perf_counter()
-                registered.lattice.apply_batch(removed_ids, {})
-                view_report.phases.update_lattice += time.perf_counter() - started
+        # -- execute: one round when the batch is insert-only, two when
+        # a Δ− side must read the lattice before its doomed rows drop --
+        two_rounds = bool(minus_units)
+        if two_rounds:
+            result = executor.run(planner.order_units(refresh_units + minus_units))
+            self._absorb_round(report, result, serial)
+            self._apply_round_fragments(result, by_name, serial, report)
+            for ctx in contexts:
+                if ctx.minus_live:
+                    started = time.perf_counter()
+                    ctx.registered.lattice.apply_batch(removed_ids, {})
+                    ctx.report.phases.update_lattice += (
+                        time.perf_counter() - started
+                    )
+            round2_units = planner.order_units(plus_units)
+        else:
+            round2_units = planner.order_units(refresh_units + plus_units)
+        # Snowcap rows are shipped as ID tuples only when the round will
+        # really cross a process boundary; single-unit rounds run inline
+        # (and thread rounds share memory), where the conversion plus
+        # owner-side re-resolution would be pure overhead.
+        crosses_process = executor.mode == "fork" and len(round2_units) >= 2
+        for unit in round2_units:
+            if unit.kind == "plus":
+                unit.ship_ids = crosses_process
+        result = executor.run(round2_units)
+        self._absorb_round(report, result, serial)
+        self._apply_round_fragments(result, by_name, serial, report)
 
-            # 4. Insertion side over survivor relations.
-            additions: Dict[tuple, int] = {}
-            r_sources: Optional[Sources] = None
-            if plus_live:
-                started = time.perf_counter()
-                ins_terms, ins_developed = surviving_insert_terms(
-                    pattern,
-                    delta_plus,
-                    insert_target_ids,
-                    self.use_data_pruning,
-                    self.use_id_pruning,
-                )
-                view_report.phases.get_update_expression += (
-                    time.perf_counter() - started
-                )
-                view_report.terms_developed += ins_developed
-                view_report.terms_surviving += len(ins_terms)
-                started = time.perf_counter()
-                r_sources = self._sources_excluding(
-                    pattern, inserted_ids, cache=survivor_cache
-                )
-                additions, eval_seconds = collect_insert_additions(
-                    pattern, ins_terms, r_sources, delta_plus, registered.lattice
-                )
-                view_report.term_eval_seconds += eval_seconds
-                view_report.phases.execute_update += time.perf_counter() - started
-
-            # 5. One store pass for the merged extent delta.
+        # -- merge + apply: one store pass and one lattice extend ------
+        for ctx in contexts:
+            if report.view_deltas is not None:
+                deltas = report.view_deltas.setdefault(ctx.name, {})
+                deltas["additions"] = ctx.additions
+                deltas["removals"] = ctx.removals
             started = time.perf_counter()
             added, tuples_removed, derivations_removed = (
-                registered.view.apply_batch_delta(additions, removals)
+                ctx.registered.view.apply_batch_delta(ctx.additions, ctx.removals)
             )
-            view_report.derivations_added = added
-            view_report.tuples_removed = tuples_removed
-            view_report.derivations_removed = derivations_removed
-            view_report.phases.execute_update += time.perf_counter() - started
-
-            # 6. One lattice extend pass for the batch's snowcap rows.
-            if r_sources is not None and registered.lattice.materialized_sets():
+            ctx.report.derivations_added = added
+            ctx.report.tuples_removed = tuples_removed
+            ctx.report.derivations_removed = derivations_removed
+            ctx.report.phases.execute_update += time.perf_counter() - started
+            if ctx.snowcap:
                 started = time.perf_counter()
-                lattice_additions = snowcap_additions(
-                    pattern,
-                    registered.lattice,
-                    r_sources,
-                    delta_plus,
-                    insert_target_ids,
-                    self.use_data_pruning,
-                    self.use_id_pruning,
+                lattice_additions = _shard_merge.resolve_snowcap_fragment(
+                    ctx.snowcap, self.document
                 )
-                registered.lattice.apply_batch(set(), lattice_additions)
-                view_report.phases.update_lattice += time.perf_counter() - started
+                if lattice_additions:
+                    ctx.registered.lattice.apply_batch(set(), lattice_additions)
+                ctx.report.phases.update_lattice += time.perf_counter() - started
+
+    def _apply_round_fragments(
+        self,
+        result: "_shard_executor.RoundResult",
+        by_name: Dict[str, "_ViewRound"],
+        serial: bool,
+        report: BatchReport,
+    ) -> None:
+        """Merge one round's fragments into the per-view contexts."""
+        for unit, fragment, seconds in zip(
+            result.units, result.fragments, result.unit_seconds
+        ):
+            ctx = by_name[unit.view_name]
+            if unit.kind == "refresh":
+                if report.view_deltas is not None:
+                    report.view_deltas.setdefault(ctx.name, {})["refresh"] = fragment
+                started = time.perf_counter()
+                ctx.report.tuples_modified = apply_attribute_refreshes(
+                    ctx.registered.view, fragment
+                )
+                applied = time.perf_counter() - started
+                ctx.report.phases.execute_update += applied + (
+                    seconds if serial else 0.0
+                )
+                continue
+            if unit.kind == "minus":
+                embeddings, stats = fragment
+                ctx.minus_live = stats.live
+                if embeddings:
+                    # The plan emits one unit per (view, side) today, so
+                    # these merges take the single-fragment fast path;
+                    # the general union exists for finer future splits.
+                    ctx.removals = _shard_merge.merge_embedding_fragments([embeddings])
+            else:
+                additions, snowcap_rows, stats = fragment
+                if additions:
+                    ctx.additions = _shard_merge.merge_addition_fragments([additions])
+                ctx.snowcap = snowcap_rows
+            self._absorb_unit_stats(ctx.report, stats, seconds, serial)
+
+    @staticmethod
+    def _absorb_unit_stats(
+        view_report: ViewReport, stats: "_shard_units.UnitStats", seconds: float, serial: bool
+    ) -> None:
+        """Fold a unit's counters (and, serially, its time) into the report.
+
+        In parallel mode per-unit compute happens on workers whose wall
+        time is already counted once at report level
+        (``BatchReport.shard_seconds``); adding it to per-view phases
+        too would double-count, so only the counters are absorbed.
+        """
+        for node_name, size in stats.delta_sizes.items():
+            view_report.delta_sizes[node_name] = (
+                view_report.delta_sizes.get(node_name, 0) + size
+            )
+        view_report.terms_developed += stats.terms_developed
+        view_report.terms_surviving += stats.terms_surviving
+        view_report.term_eval_seconds += stats.eval_seconds
+        if serial:
+            phases = view_report.phases
+            phases.compute_delta_tables += stats.delta_seconds
+            phases.get_update_expression += stats.develop_seconds
+            phases.update_lattice += stats.snowcap_seconds
+            phases.execute_update += max(
+                0.0,
+                seconds
+                - stats.delta_seconds
+                - stats.develop_seconds
+                - stats.snowcap_seconds,
+            )
+
+    @staticmethod
+    def _absorb_round(report: BatchReport, result: "_shard_executor.RoundResult", serial: bool) -> None:
+        if not result.units:
+            return
+        report.shard_rounds.append(result.describe())
+        if not serial:
+            report.shard_seconds += result.wall_seconds
+
+    def _prewarm_value_index(self, contexts: Sequence["_ViewRound"]) -> None:
+        """Flush value-index dirty sets before fanning out.
+
+        Worker processes inherit state by fork, so a lazy re-bucketing
+        would otherwise be repeated in every child (and would race in
+        the thread fallback); one parent-side lookup per σ predicate
+        makes the subsequent unit-side lookups read-only.
+        """
+        seen = set()
+        for ctx in contexts:
+            for node in ctx.registered.pattern.nodes():
+                if node.value_pred is None:
+                    continue
+                key = (node.label, node.value_pred)
+                if key in seen:
+                    continue
+                seen.add(key)
+                self.document.nodes_with_value(node.label, node.value_pred)
 
     def _dirty_affects(self, pattern: Pattern, dirty_nodes: Sequence[Node]) -> bool:
         """Can a drifted removed node's stale val/cont reach this view?
@@ -1048,6 +1322,10 @@ class BatchEngine:
             self.engine = MaintenanceEngine(engine_or_document, **options)
 
     @property
+    def workers(self) -> int:
+        return self.engine.workers
+
+    @property
     def document(self) -> Document:
         return self.engine.document
 
@@ -1061,9 +1339,18 @@ class BatchEngine:
     def unregister_view(self, name: str) -> None:
         self.engine.unregister_view(name)
 
-    def apply(self, batch: Union[UpdateBatch, Sequence[UpdateStatement]]) -> BatchReport:
-        """Propagate a batch: one Δ extraction, one round per view."""
-        return self.engine.apply_batch(batch)
+    def apply(
+        self,
+        batch: Union[UpdateBatch, Sequence[UpdateStatement]],
+        workers: Optional[int] = None,
+        shard_plan: "Union[None, int, _shard_planner.ShardPlanner]" = None,
+    ) -> BatchReport:
+        """Propagate a batch: one Δ extraction, one round per view.
+
+        ``workers`` / ``shard_plan`` override the engine defaults for
+        this batch (see :meth:`MaintenanceEngine.apply_batch`).
+        """
+        return self.engine.apply_batch(batch, workers=workers, shard_plan=shard_plan)
 
     def apply_update(self, statement: UpdateStatement) -> BatchReport:
         """Per-statement entry point, implemented as a batch of one.
@@ -1081,6 +1368,11 @@ class BatchEngine:
         from repro.maintenance.queue import ApplyQueue
 
         return ApplyQueue(self, **options)
+
+    def session(self, workers: int = 4, planner=None, weights=None):
+        """A resident :class:`~repro.sharding.ShardSession` over the
+        wrapped engine (see :meth:`MaintenanceEngine.session`)."""
+        return self.engine.session(workers=workers, planner=planner, weights=weights)
 
     def __repr__(self) -> str:
         return "BatchEngine(%d views)" % len(self.engine.views)

@@ -119,29 +119,23 @@ def et_ins(
     return added, eval_seconds
 
 
-def refresh_stored_attributes(
+def collect_attribute_refreshes(
     view: MaterializedView,
     document: Document,
     insert_target_ids: Sequence[DeweyID],
     delete_target_ids: Sequence[DeweyID],
-) -> int:
-    """The shared PIMT/PDMT rewrite loop: one snapshot pass.
+) -> List[Tuple[tuple, tuple]]:
+    """The read-only half of the PIMT/PDMT rewrite loop.
 
-    A surviving stored node's attributes changed iff it is an
-    ancestor-or-self of an insertion target or a proper ancestor of a
-    deletion target -- ID-only tests, merged over however many
-    statements contributed targets (the batch pipeline passes both
-    lists at once so the view extent is scanned a single time); target
-    lists are deduplicated and sorted up front so each stored node is
-    probed with one bisect per kind, not one comparison per target.
-    Rewrites read the *final* document state, so candidate overshoot
-    (e.g. targets whose effect was later cancelled) degrades to a no-op
-    rewrite.  Returns the number of rewritten tuples.
+    Scans the extent snapshot and returns the ``(old row, new row)``
+    rewrite pairs without touching the view -- the sharded pipeline
+    computes these on workers (the pairs are plain picklable tuples)
+    and applies them on the owning process.
     """
     pattern = view.pattern
     cvn = pattern.content_nodes()
     if not cvn or (not insert_target_ids and not delete_target_ids):
-        return 0
+        return []
     sorted_insert_targets = sorted(set(insert_target_ids))
     sorted_delete_targets = sorted(set(delete_target_ids))
     columns = pattern.return_columns()
@@ -168,9 +162,43 @@ def refresh_stored_attributes(
                 new_row[column_index[(node.name, "cont")]] = doc_node.cont
         if new_row is not None and tuple(new_row) != row:
             replacements.append((row, tuple(new_row)))
+    return replacements
+
+
+def apply_attribute_refreshes(
+    view: MaterializedView, replacements: Sequence[Tuple[tuple, tuple]]
+) -> int:
+    """Apply collected rewrite pairs; returns the number applied."""
     for old_row, fresh_row in replacements:
         view.replace(old_row, fresh_row)
     return len(replacements)
+
+
+def refresh_stored_attributes(
+    view: MaterializedView,
+    document: Document,
+    insert_target_ids: Sequence[DeweyID],
+    delete_target_ids: Sequence[DeweyID],
+) -> int:
+    """The shared PIMT/PDMT rewrite loop: one snapshot pass.
+
+    A surviving stored node's attributes changed iff it is an
+    ancestor-or-self of an insertion target or a proper ancestor of a
+    deletion target -- ID-only tests, merged over however many
+    statements contributed targets (the batch pipeline passes both
+    lists at once so the view extent is scanned a single time); target
+    lists are deduplicated and sorted up front so each stored node is
+    probed with one bisect per kind, not one comparison per target.
+    Rewrites read the *final* document state, so candidate overshoot
+    (e.g. targets whose effect was later cancelled) degrades to a no-op
+    rewrite.  Returns the number of rewritten tuples.
+    """
+    return apply_attribute_refreshes(
+        view,
+        collect_attribute_refreshes(
+            view, document, insert_target_ids, delete_target_ids
+        ),
+    )
 
 
 def pimt(

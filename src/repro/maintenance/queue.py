@@ -78,7 +78,11 @@ class ApplyQueue:
       merges;
     * ``flush_interval`` is how long the worker lingers for more
       arrivals before applying a non-full batch (seconds; ``0`` applies
-      as soon as the queue is non-empty).
+      as soon as the queue is non-empty);
+    * ``workers`` / ``shard_plan`` fan each maintenance round out
+      through the sharded pipeline (passed through to
+      :meth:`~repro.maintenance.engine.MaintenanceEngine.apply_batch`;
+      ``None`` keeps the engine's own defaults).
 
     Usable as a context manager: leaving the block closes the queue
     (draining everything still pending).
@@ -89,6 +93,8 @@ class ApplyQueue:
         engine,
         max_batch_size: int = 64,
         flush_interval: float = 0.01,
+        workers: Optional[int] = None,
+        shard_plan=None,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -98,6 +104,13 @@ class ApplyQueue:
         if apply_batch is None:
             raise TypeError("engine %r has no apply_batch/apply" % (engine,))
         self._apply_batch = apply_batch
+        #: kwargs forwarded to every apply_batch call; only populated
+        #: when given, so engines without sharding options keep working.
+        self._apply_options = {}
+        if workers is not None:
+            self._apply_options["workers"] = workers
+        if shard_plan is not None:
+            self._apply_options["shard_plan"] = shard_plan
         self.engine = engine
         self.max_batch_size = max_batch_size
         self.flush_interval = flush_interval
@@ -221,7 +234,7 @@ class ApplyQueue:
             report = None
             error: Optional[BaseException] = None
             try:
-                report = self._apply_batch(batch)
+                report = self._apply_batch(batch, **self._apply_options)
             except BaseException as exc:  # poison batch, keep worker alive
                 error = exc
             for ticket in tickets:

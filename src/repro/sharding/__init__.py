@@ -1,0 +1,42 @@
+"""Sharded batch maintenance: label-hash planning, worker pools, merge.
+
+The subsystem splits one batch maintenance round into independent
+per-shard work units (:mod:`repro.sharding.units`), planned by a stable
+label hash (:mod:`repro.sharding.planner`), executed serially or on a
+process/thread pool (:mod:`repro.sharding.executor`) and reassembled
+deterministically (:mod:`repro.sharding.merge`) so sharded extents stay
+byte-identical to serial propagation.  Entry point:
+``MaintenanceEngine.apply_batch(batch, workers=..., shard_plan=...)``.
+"""
+
+from repro.sharding.executor import RoundResult, ShardExecutor
+from repro.sharding.merge import (
+    merge_addition_fragments,
+    merge_embedding_fragments,
+    resolve_snowcap_fragment,
+)
+from repro.sharding.planner import ShardPlanner, shard_of_label
+from repro.sharding.session import ShardSession
+from repro.sharding.units import (
+    DeleteSideUnit,
+    InsertSideUnit,
+    RefreshUnit,
+    ShardWorkUnit,
+    UnitStats,
+)
+
+__all__ = [
+    "DeleteSideUnit",
+    "InsertSideUnit",
+    "RefreshUnit",
+    "RoundResult",
+    "ShardExecutor",
+    "ShardPlanner",
+    "ShardSession",
+    "ShardWorkUnit",
+    "UnitStats",
+    "merge_addition_fragments",
+    "merge_embedding_fragments",
+    "resolve_snowcap_fragment",
+    "shard_of_label",
+]

@@ -1,0 +1,205 @@
+"""Worker-pool execution of shard work units.
+
+``ShardExecutor`` runs one *round* -- an ordered list of
+:class:`~repro.sharding.units.ShardWorkUnit` -- and returns every
+unit's fragment plus timing.  Three modes:
+
+``serial`` (``workers=0``)
+    Units run inline on the calling thread.  This is the reference
+    path: the parallel modes must produce byte-identical merge inputs.
+
+``fork`` (default for ``workers >= 1`` where ``os.fork`` exists)
+    A fresh ``multiprocessing`` fork pool per round.  Children inherit
+    the engine state (document, relations, lattices, candidate
+    buckets) by copy-on-write, so nothing is pickled *into* a worker
+    -- the dispatched payload is the unit's index into the
+    fork-inherited round, and only the picklable fragments travel
+    back.  A pool per round is deliberate: engine state changes
+    between rounds, and re-forking is how workers observe the current
+    state without any serialization protocol.
+
+``thread``
+    ``multiprocessing.dummy`` pool; a compatibility fallback for
+    platforms without ``fork`` (no speedup under the GIL, same
+    semantics).  The engine pre-warms value-index lookups before
+    dispatch so threaded units only read.
+
+Worker failures propagate: the first unit exception re-raises on the
+caller, which the engine turns into its poison-batch recovery
+(recompute every view) exactly as in the serial path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from typing import List, Optional, Sequence
+
+from repro.sharding.units import ShardWorkUnit
+
+#: round state inherited by fork children (set only while dispatching).
+_ACTIVE_ROUND: Optional[Sequence[ShardWorkUnit]] = None
+#: serializes pooled rounds within one process: the round state is a
+#: module global (that is what fork children inherit), so two engines
+#: dispatching concurrently -- e.g. two ApplyQueues with workers>0 --
+#: must take turns or thread-mode units would read the other round's
+#: state and fork-mode pools could observe it cleared mid-fork.
+_ROUND_LOCK = threading.Lock()
+
+
+def _execute_indexed(index: int):
+    """Pool target: run one fork-inherited unit, return its fragment."""
+    unit = _ACTIVE_ROUND[index]
+    started = time.perf_counter()
+    fragment = unit.execute()
+    return index, fragment, time.perf_counter() - started
+
+
+def _fork_available() -> bool:
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - exotic platforms
+        return False
+
+
+class RoundResult:
+    """Fragments and timing of one executed round."""
+
+    __slots__ = ("fragments", "unit_seconds", "wall_seconds", "mode", "units")
+
+    def __init__(
+        self,
+        units: Sequence[ShardWorkUnit],
+        fragments: List,
+        unit_seconds: List[float],
+        wall_seconds: float,
+        mode: str,
+    ):
+        self.units = list(units)
+        self.fragments = fragments
+        self.unit_seconds = unit_seconds
+        self.wall_seconds = wall_seconds
+        self.mode = mode
+
+    @property
+    def worker_seconds(self) -> float:
+        """Summed self-reported compute time across all units."""
+        return sum(self.unit_seconds)
+
+    def describe(self) -> dict:
+        return {
+            "mode": self.mode,
+            "units": len(self.units),
+            "wall_s": round(self.wall_seconds, 6),
+            "worker_s": round(self.worker_seconds, 6),
+            "unit_s": [
+                {
+                    "view": unit.view_name,
+                    "kind": unit.kind,
+                    "shard": unit.shard,
+                    "seconds": round(seconds, 6),
+                }
+                for unit, seconds in zip(self.units, self.unit_seconds)
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return "RoundResult(%d units, %s, %.4fs wall)" % (
+            len(self.units),
+            self.mode,
+            self.wall_seconds,
+        )
+
+
+class ShardExecutor:
+    """Runs shard rounds serially or on a worker pool."""
+
+    def __init__(self, workers: int = 0, mode: Optional[str] = None):
+        if workers < 0:
+            raise ValueError("workers must be >= 0, got %d" % workers)
+        if mode not in (None, "serial", "fork", "thread"):
+            raise ValueError("unknown executor mode %r" % (mode,))
+        self.workers = workers
+        if workers == 0:
+            mode = "serial"
+        elif mode is None:
+            mode = "fork" if _fork_available() else "thread"
+        elif mode == "fork" and not _fork_available():
+            mode = "thread"
+        self.mode = mode
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 0 and self.mode != "serial"
+
+    def run(self, units: Sequence[ShardWorkUnit]) -> RoundResult:
+        units = list(units)
+        if not units:
+            return RoundResult(units, [], [], 0.0, self.mode)
+        # A single unit gains nothing from a pool; run it inline even
+        # in parallel mode.  The round's recorded mode says so -- the
+        # report must not claim a fan-out that never happened.
+        if not self.parallel or len(units) == 1:
+            started = time.perf_counter()
+            fragments: List = []
+            unit_seconds: List[float] = []
+            for unit in units:
+                unit_started = time.perf_counter()
+                fragments.append(unit.execute())
+                unit_seconds.append(time.perf_counter() - unit_started)
+            wall = time.perf_counter() - started
+            mode = "inline" if self.parallel else "serial"
+            return RoundResult(units, fragments, unit_seconds, wall, mode)
+        if self.mode == "fork":
+            return self._run_fork(units)
+        return self._run_thread(units)
+
+    # -- pool modes ------------------------------------------------------
+
+    def _run_fork(self, units: List[ShardWorkUnit]) -> RoundResult:
+        global _ACTIVE_ROUND
+        context = multiprocessing.get_context("fork")
+        processes = min(self.workers, len(units))
+        started = time.perf_counter()
+        with _ROUND_LOCK:
+            _ACTIVE_ROUND = units
+            try:
+                with context.Pool(processes=processes) as pool:
+                    indexed = pool.map(
+                        _execute_indexed, range(len(units)), chunksize=1
+                    )
+            finally:
+                _ACTIVE_ROUND = None
+        wall = time.perf_counter() - started
+        return self._collect(units, indexed, wall, "fork")
+
+    def _run_thread(self, units: List[ShardWorkUnit]) -> RoundResult:
+        global _ACTIVE_ROUND
+        from multiprocessing.dummy import Pool as ThreadPool
+
+        processes = min(self.workers, len(units))
+        started = time.perf_counter()
+        with _ROUND_LOCK:
+            _ACTIVE_ROUND = units
+            try:
+                with ThreadPool(processes=processes) as pool:
+                    indexed = pool.map(
+                        _execute_indexed, range(len(units)), chunksize=1
+                    )
+            finally:
+                _ACTIVE_ROUND = None
+        wall = time.perf_counter() - started
+        return self._collect(units, indexed, wall, "thread")
+
+    @staticmethod
+    def _collect(units, indexed, wall: float, mode: str) -> RoundResult:
+        fragments: List = [None] * len(units)
+        unit_seconds: List[float] = [0.0] * len(units)
+        for index, fragment, seconds in indexed:
+            fragments[index] = fragment
+            unit_seconds[index] = seconds
+        return RoundResult(units, fragments, unit_seconds, wall, mode)
+
+    def __repr__(self) -> str:
+        return "ShardExecutor(workers=%d, mode=%s)" % (self.workers, self.mode)

@@ -1,0 +1,107 @@
+"""Deterministic reassembly of per-shard fragments.
+
+Workers return fragments in whatever order the pool finishes them; the
+merge layer rebuilds the exact inputs the serial pipeline would have
+produced, so :meth:`~repro.views.view.MaterializedView.apply_batch_delta`
+and the lattice upkeep see byte-identical data regardless of worker
+count, shard count or scheduling:
+
+* Δ+ fragments sum derivation counts per projected tuple; Δ− fragments
+  union doomed-embedding maps (cross-term duplicates collapse by
+  binding key).  Both merged dicts are built in Dewey (sorted-key)
+  order.
+* Snowcap fragments carry binding rows as ID tuples; the owner
+  re-resolves them against the live document into node rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.algebra.relation import Relation
+from repro.maintenance.delete import removals_from_embeddings
+from repro.views.view import row_sort_key
+from repro.xmldom.model import Document
+
+
+def merge_addition_fragments(
+    fragments: Iterable[Dict[tuple, int]]
+) -> Dict[tuple, int]:
+    """Sum per-tuple derivation counts across Δ+ fragments, keys in
+    Dewey order.
+
+    A single fragment passes through untouched: its insertion order is
+    already deterministic (the unit's term loop), and the store pass
+    sorts keys itself.
+    """
+    fragments = list(fragments)
+    if len(fragments) == 1:
+        return fragments[0]
+    accumulated: Dict[tuple, int] = {}
+    for fragment in fragments:
+        for row, count in fragment.items():
+            accumulated[row] = accumulated.get(row, 0) + count
+    return {row: accumulated[row] for row in sorted(accumulated, key=row_sort_key)}
+
+
+def merge_embedding_fragments(
+    fragments: Iterable[Dict[tuple, tuple]]
+) -> Dict[tuple, int]:
+    """Union doomed-embedding maps, then count per projected tuple.
+
+    One embedding surfacing in several fragments (the same binding
+    reached through different terms) collapses under dict union; the
+    projected row is a function of the binding, so whichever fragment
+    contributed it carries the same row.
+
+    A single fragment is counted in its own (deterministic) insertion
+    order -- both consumers are order-independent, so the Dewey sort of
+    :func:`removals_from_embeddings` is only needed to canonicalize a
+    genuine multi-fragment union.
+    """
+    fragments = list(fragments)
+    if len(fragments) == 1:
+        removals: Dict[tuple, int] = {}
+        for row in fragments[0].values():
+            removals[row] = removals.get(row, 0) + 1
+        return removals
+    merged: Dict[tuple, tuple] = {}
+    for fragment in fragments:
+        merged.update(fragment)
+    return removals_from_embeddings(merged)
+
+
+def resolve_snowcap_fragment(
+    fragment: Optional[Dict[frozenset, object]],
+    document: Document,
+) -> Dict[frozenset, Relation]:
+    """Rebuild snowcap-addition relations from a unit fragment.
+
+    In-process units hand their node-row relations over directly
+    (pass-through); fragments that crossed a process boundary carry
+    ``(schema, ID rows)`` pairs whose IDs are re-resolved against the
+    live document.  Every ID must resolve: snowcap additions bind only
+    live nodes (survivors and batch-inserted nodes), so a miss means
+    the fragment and the document disagree -- fail loudly rather than
+    corrupt the lattice.
+    """
+    relations: Dict[frozenset, Relation] = {}
+    if not fragment:
+        return relations
+    resolve = document.node_by_id
+    for subset, value in fragment.items():
+        if isinstance(value, Relation):
+            relations[subset] = value
+            continue
+        schema, id_rows = value
+        rows = []
+        for id_row in id_rows:
+            row = tuple(resolve(node_id) for node_id in id_row)
+            if any(node is None for node in row):
+                raise LookupError(
+                    "snowcap fragment row %r references a node missing "
+                    "from the document" % (id_row,)
+                )
+            rows.append(row)
+        relations[subset] = Relation(schema, rows)
+    return relations

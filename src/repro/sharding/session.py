@@ -1,0 +1,509 @@
+"""Resident shard workers: fork once, maintain view replicas per batch.
+
+:class:`ShardSession` is the streaming counterpart of the per-batch
+fork pool in :mod:`repro.sharding.executor`.  A pool forked per round
+pays the copy-on-write warm-up on every batch; a session forks its
+workers **once** and keeps them resident, so the warm-up amortizes over
+a whole statement stream -- the shape
+:class:`~repro.maintenance.queue.ApplyQueue` produces.
+
+Design (replicated state machines):
+
+* at session start the registered views are partitioned across
+  ``workers`` by an LPT schedule over their extent sizes; each worker
+  is forked with a full copy-on-write replica of the engine and
+  restricts itself to its owned views;
+* per batch, the owner coalesces the statements once and broadcasts
+  the resulting list (a few KB) to every worker.  Each worker applies
+  the statements to its replica document -- resolution and Dewey
+  assignment are deterministic, so every replica evolves
+  byte-identically to the owner -- and runs the ordinary serial
+  ``apply_batch`` over its views, which keeps its extents *and*
+  lattices current for the next batch;
+* workers ship back only the extent-delta inputs of the store pass
+  (refresh pairs, Δ+/Δ− tuple counts -- recorded by the engine's
+  ``record_deltas`` hook) plus slim per-view stats; the owner, which
+  applied the same statements to its authoritative document
+  concurrently, replays those deltas into its authoritative extents.
+  The deltas are exactly what a serial engine would have computed, so
+  owner extents stay byte-identical to ``workers=0`` propagation.
+* a view that trips a recompute fallback on its worker ships its full
+  recomputed extent instead (rare; the owner holds no lattices, so it
+  cannot recompute as cheaply itself).
+
+Failure semantics mirror the engine's poison-batch contract: a
+statement that fails poisons *its* batch only.  Owner and replicas run
+the same deterministic application, so they fail the same statement
+identically, each side restores its own views by recomputation, they
+stay in lockstep, and the session keeps serving subsequent batches.
+Only unrecoverable faults -- a dead worker, or a worker disagreeing
+with the owner about a batch's outcome -- restore the owner's views
+and close the session for good.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.updates.language import UpdateBatch, UpdateStatement
+from repro.updates.pul import BatchApplication
+
+
+def _canonical_row(row: tuple, canon: Dict[str, str]) -> tuple:
+    """Rebuild a view tuple with string cells deduplicated via ``canon``."""
+    return tuple(
+        canon.setdefault(cell, cell) if type(cell) is str else cell
+        for cell in row
+    )
+
+
+def _session_worker_main(conn, owned_names: List[str]) -> None:
+    """Worker loop: inherits the engine by fork, serves its views."""
+    engine = _FORK_STATE["engine"]
+    engine.views = {name: engine.views[name] for name in owned_names}
+    engine.record_deltas = True
+    engine.workers = 0
+    conn.send(("ready", None))
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        if message is None:
+            break
+        statements = message
+        started = time.perf_counter()
+        try:
+            report = engine.apply_batch(statements)
+            # One canonical object per distinct string across the whole
+            # payload: XMark-style workloads repeat identical val/cont
+            # text across thousands of delta rows, and pickle stores a
+            # memo reference per repeated *object* -- deduplication
+            # shrinks the shipped bytes by up to an order of magnitude.
+            canon: Dict[str, str] = {}
+            for name in engine.views:
+                deltas = (report.view_deltas or {}).get(name, {})
+                for key in ("additions", "removals"):
+                    rows = deltas.get(key)
+                    if rows:
+                        deltas[key] = {
+                            _canonical_row(row, canon): count
+                            for row, count in rows.items()
+                        }
+                pairs = deltas.get("refresh")
+                if pairs:
+                    deltas["refresh"] = [
+                        (_canonical_row(old, canon), _canonical_row(new, canon))
+                        for old, new in pairs
+                    ]
+            payload: Dict[str, Dict] = {}
+            for name in engine.views:
+                deltas = (report.view_deltas or {}).get(name, {})
+                view_report = report.view_reports.get(name)
+                entry: Dict = {
+                    "refresh": deltas.get("refresh", ()),
+                    "additions": deltas.get("additions", {}),
+                    "removals": deltas.get("removals", {}),
+                    "fallback": report.fallbacks.get(name),
+                    "stats": None,
+                }
+                if view_report is not None:
+                    entry["stats"] = {
+                        "targets": view_report.targets,
+                        "terms_developed": view_report.terms_developed,
+                        "terms_surviving": view_report.terms_surviving,
+                        "term_eval_seconds": view_report.term_eval_seconds,
+                        "maintenance_seconds": view_report.phases.total(),
+                    }
+                if entry["fallback"] is not None:
+                    # The owner holds no lattice for this view; ship the
+                    # recomputed extent outright.
+                    entry["content"] = engine.views[name].view.content()
+                payload[name] = entry
+            conn.send(
+                (
+                    "ok",
+                    {
+                        "views": payload,
+                        "worker_wall_s": time.perf_counter() - started,
+                        "apply_document_s": report.apply_document_seconds,
+                        "propagation_s": report.propagation_seconds(),
+                    },
+                )
+            )
+        except BaseException as exc:  # ship the poison, stay alive
+            try:
+                conn.send(("error", exc))
+            except Exception:
+                conn.send(("error", RuntimeError(repr(exc))))
+    conn.close()
+
+
+#: fork hand-off slot read by the child right after Process.start().
+_FORK_STATE: Dict = {}
+
+
+class ShardSession:
+    """Resident worker pool maintaining view replicas batch by batch.
+
+    Exposes ``apply_batch`` (and ``apply``) with the engine's
+    signature, so it can be handed directly to
+    :class:`~repro.maintenance.queue.ApplyQueue`.  Use as a context
+    manager or call :meth:`close`.
+    """
+
+    def __init__(self, engine, workers: int = 4, planner=None, weights=None):
+        import multiprocessing
+
+        from repro.maintenance.engine import BatchEngine, MaintenanceEngine
+        from repro.sharding.planner import ShardPlanner
+
+        if isinstance(engine, BatchEngine):
+            engine = engine.engine
+        if not isinstance(engine, MaintenanceEngine):
+            raise TypeError("ShardSession needs a MaintenanceEngine/BatchEngine")
+        if workers < 1:
+            raise ValueError("a session needs at least one worker")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "ShardSession requires the fork start method; use "
+                "apply_batch(workers=N) for the per-batch thread fallback"
+            )
+        if getattr(engine, "_shard_session_active", False):
+            raise RuntimeError("engine already has an active ShardSession")
+        self.engine = engine
+        self.planner = ShardPlanner.coerce(planner, workers)
+        self.workers = min(workers, max(1, len(engine.views)))
+        #: calibration knob (used by the bench on single-CPU hosts):
+        #: apply the owner's document update *before* broadcasting, so
+        #: owner and worker phases never overlap and each measured
+        #: component is clean of time-slicing.  Results are identical;
+        #: only the timeline changes.
+        self.sequential_send = False
+        #: optional view -> relative maintenance cost used by the LPT
+        #: assignment (e.g. measured per-view propagation seconds from
+        #: a profiling run); defaults to the extent+lattice size proxy.
+        self.weights = dict(weights) if weights else None
+        self._closed = False
+        self._assignment = self._assign_views()
+        context = multiprocessing.get_context("fork")
+        self._processes = []
+        self._connections = []
+        from repro.sharding.executor import _ROUND_LOCK
+
+        with _ROUND_LOCK:  # _FORK_STATE is shared with any sibling session
+            for owned in self._assignment:
+                parent_conn, child_conn = context.Pipe()
+                _FORK_STATE["engine"] = engine
+                try:
+                    process = context.Process(
+                        target=_session_worker_main,
+                        args=(child_conn, owned),
+                        daemon=True,
+                    )
+                    process.start()
+                finally:
+                    _FORK_STATE.clear()
+                child_conn.close()
+                self._processes.append(process)
+                self._connections.append(parent_conn)
+        for conn in self._connections:
+            kind, _ = conn.recv()
+            assert kind == "ready"
+        # While the session drives maintenance, the owner's lattices go
+        # stale (workers maintain their replicas' lattices instead);
+        # block direct serial propagation until close() re-syncs them.
+        engine._shard_session_active = True
+
+    def _assign_views(self) -> List[List[str]]:
+        """LPT partition of views across workers by maintenance weight.
+
+        The weight proxy is extent size plus materialized lattice rows:
+        per-batch cost is dominated by the refresh scan (O(extent)) and
+        the term/snowcap work seeded from the lattice relations.
+        """
+
+        def weight(name, registered) -> float:
+            if self.weights is not None and name in self.weights:
+                return max(1e-9, float(self.weights[name]))
+            return float(
+                max(1, len(registered.view) + registered.lattice.stored_tuples())
+            )
+
+        buckets: List[List[str]] = [[] for _ in range(self.workers)]
+        loads = [0.0] * self.workers
+        ordered = sorted(
+            self.engine.views.items(),
+            key=lambda item: (-weight(item[0], item[1]), item[0]),
+        )
+        for name, registered in ordered:
+            slot = loads.index(min(loads))
+            buckets[slot].append(name)
+            loads[slot] += weight(name, registered)
+        return buckets
+
+    @property
+    def assignment(self) -> Dict[str, int]:
+        """view name -> worker index (the session's shard map)."""
+        return {
+            name: index
+            for index, owned in enumerate(self._assignment)
+            for name in owned
+        }
+
+    # -- batch application ----------------------------------------------
+
+    def apply_batch(
+        self, batch: Union[UpdateBatch, Sequence[UpdateStatement]], **_ignored
+    ):
+        """Apply one batch through the resident workers.
+
+        The owner's document is updated locally (concurrently with the
+        replicas); view extents are updated from the workers' shipped
+        deltas.  Returns a :class:`~repro.maintenance.engine.BatchReport`
+        with ``mode`` visible via ``report.workers`` / ``shard_rounds``.
+        """
+        from repro.maintenance.engine import BatchReport, ViewReport
+
+        if self._closed:
+            raise RuntimeError("shard session is closed")
+        if isinstance(batch, UpdateBatch):
+            submitted = len(batch)
+            statements = batch.coalesced().statements
+        else:
+            statements = list(batch)
+            submitted = len(statements)
+        report = BatchReport(statements)
+        report.statements_submitted = submitted
+        report.statements_applied = len(statements)
+        report.workers = self.workers
+        if not statements:
+            return report
+
+        def broadcast() -> None:
+            for conn in self._connections:
+                try:
+                    conn.send(statements)
+                except (BrokenPipeError, OSError) as exc:
+                    # A worker is gone before the owner touched its own
+                    # document (default mode broadcasts first), so the
+                    # views are still consistent; shut down cleanly.
+                    self.close(force=True)
+                    raise RuntimeError("shard worker died") from exc
+
+        started = time.perf_counter()
+        if not self.sequential_send:
+            broadcast()
+        # Owner document apply overlaps the replicas' work (unless the
+        # calibration knob sequences it first).
+        application = BatchApplication(self.engine.document, statements)
+        owner_error: Optional[BaseException] = None
+        try:
+            application.apply()
+        except BaseException as exc:
+            if self.sequential_send:
+                # Workers never saw the batch; the owner's partial
+                # apply desynchronized it from the replicas for good.
+                self._poison()
+                raise
+            owner_error = exc
+        if self.sequential_send:
+            try:
+                broadcast()
+            except RuntimeError:
+                # Here the owner HAS applied the batch; restore view
+                # consistency against its document before surfacing.
+                self._poison()
+                raise
+        if owner_error is None:
+            report.apply_document_seconds = application.apply_seconds
+            report.pul_size = application.pul_size
+            inserted = application.net_inserted_nodes()
+            report.net_inserted = len(inserted)
+            report.net_removed = len(application.net_removed_nodes())
+            report.cancelled = application.cancelled_count()
+        applied_done = time.perf_counter()
+
+        worker_walls: List[float] = []
+        worker_props: List[float] = []
+        worker_applies: List[float] = []
+        store_seconds = 0.0
+        error: Optional[BaseException] = owner_error
+        worker_died = False
+        mixed_outcome = False
+        for conn in self._connections:
+            try:
+                kind, payload = conn.recv()
+            except EOFError:
+                kind, payload = "error", RuntimeError("shard worker died")
+                worker_died = True
+            if kind == "error":
+                if owner_error is None and not worker_died:
+                    # Replicas are deterministic, so a worker failing a
+                    # batch the owner applied means divergence.
+                    mixed_outcome = True
+                if error is None:
+                    error = payload
+                continue
+            worker_walls.append(payload["worker_wall_s"])
+            worker_props.append(payload["propagation_s"])
+            worker_applies.append(payload["apply_document_s"])
+            if error is not None:
+                if owner_error is not None:
+                    mixed_outcome = True  # worker applied what the owner could not
+                continue  # drain remaining workers, then poison
+            store_started = time.perf_counter()
+            for name, entry in payload["views"].items():
+                registered = self.engine.views[name]
+                view_report = ViewReport(name)
+                stats = entry.get("stats")
+                if stats:
+                    view_report.targets = stats["targets"]
+                    view_report.terms_developed = stats["terms_developed"]
+                    view_report.terms_surviving = stats["terms_surviving"]
+                    view_report.term_eval_seconds = stats["term_eval_seconds"]
+                report.view_reports[name] = view_report
+                if entry["fallback"] is not None:
+                    report.fallbacks[name] = entry["fallback"]
+                    view_report.predicate_fallback = True
+                    self._replace_extent(registered, entry["content"])
+                    continue
+                # Fold the refresh rewrites into the Δ sets so the whole
+                # replay is ONE bulk store pass: a rewrite is exactly
+                # "remove every derivation of the old form, add them
+                # under the new form", and shipped Δ rows already carry
+                # final attribute values, so the three inputs compose.
+                additions = dict(entry["additions"])
+                removals = dict(entry["removals"])
+                refresh_derivations = 0
+                if entry["refresh"]:
+                    view = registered.view
+                    for old_row, new_row in entry["refresh"]:
+                        count = view.count(old_row)
+                        refresh_derivations += count
+                        removals[old_row] = removals.get(old_row, 0) + count
+                        additions[new_row] = additions.get(new_row, 0) + count
+                view_report.tuples_modified = len(entry["refresh"])
+                added, tuples_removed, derivations_removed = (
+                    registered.view.apply_batch_delta(additions, removals)
+                )
+                # Rewrite churn cancels out of the derivation counters
+                # (tuples_removed still counts dropped old-form rows).
+                view_report.derivations_added = added - refresh_derivations
+                view_report.tuples_removed = tuples_removed
+                view_report.derivations_removed = (
+                    derivations_removed - refresh_derivations
+                )
+            store_seconds += time.perf_counter() - store_started
+        if error is not None:
+            if worker_died or mixed_outcome:
+                # Unrecoverable: a replica is gone or no longer agrees
+                # with the owner; restore the views and shut down.
+                self._poison()
+                raise error
+            # Deterministic poison: owner and every worker failed the
+            # same statement identically, so owner document and
+            # replicas are still in lockstep (each side's engine
+            # restored its own views by recomputation).  Re-sync the
+            # owner extents and keep serving -- a poison batch fails
+            # only itself, as in the serial engine and the queue.
+            self._resync_extents()
+            raise error
+        finished = time.perf_counter()
+        # Time attributable to maintenance: everything past the owner's
+        # own document apply, with the store replay counted in per-view
+        # phases' stead (shard_seconds carries the wait + replay once).
+        report.shard_seconds = max(0.0, finished - applied_done)
+        report.shard_rounds.append(
+            {
+                "mode": "session",
+                "units": len(self._connections),
+                "wall_s": round(finished - started, 6),
+                "worker_s": round(sum(worker_walls), 6),
+                "worker_propagation_s": round(sum(worker_props), 6),
+                "worker_apply_s": round(sum(worker_applies), 6),
+                "owner_prep_s": round(applied_done - started, 6),
+                "store_s": round(store_seconds, 6),
+                "unit_s": [
+                    {
+                        "view": "worker%d" % index,
+                        "kind": "session",
+                        "shard": index,
+                        "seconds": round(wall, 6),
+                    }
+                    for index, wall in enumerate(worker_walls)
+                ],
+            }
+        )
+        return report
+
+    def apply(self, batch, **kwargs):
+        return self.apply_batch(batch, **kwargs)
+
+    @staticmethod
+    def _replace_extent(registered, content) -> None:
+        from repro.views.view import MaterializedView, row_sort_key
+
+        fresh = MaterializedView(registered.pattern, name=registered.name)
+        fresh._store.load_sorted(
+            sorted(content, key=lambda item: row_sort_key(item[0]))
+        )
+        registered.view._store = fresh._store
+
+    def _resync_extents(self) -> None:
+        """Recompute every owner extent from the owner document."""
+        from repro.views.view import MaterializedView
+
+        for registered in self.engine.views.values():
+            fresh = MaterializedView.materialize(
+                registered.pattern, self.engine.document, name=registered.name
+            )
+            registered.view._store = fresh._store
+
+    def _poison(self) -> None:
+        """Restore owner views by recomputation, then shut down."""
+        self._resync_extents()
+        self.close(force=True)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self, force: bool = False) -> None:
+        """Stop the workers and re-sync the owner engine (idempotent).
+
+        The owner's lattices were not maintained while the session ran;
+        closing re-materializes them from the owner document so direct
+        serial propagation is valid again.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._connections:
+            try:
+                if not force:
+                    conn.send(None)
+                conn.close()
+            except Exception:
+                pass
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():
+                process.terminate()
+        self._connections = []
+        self._processes = []
+        for registered in self.engine.views.values():
+            registered.lattice.materialize(self.engine.document)
+        self.engine._shard_session_active = False
+
+    def __enter__(self) -> "ShardSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return "ShardSession(%d workers, %d views%s)" % (
+            self.workers,
+            len(self.engine.views),
+            ", closed" if self._closed else "",
+        )

@@ -1,0 +1,277 @@
+"""Per-shard work units of one batch maintenance round.
+
+A unit is the pure slice of one view's propagation work for one side of
+the batch Δ: it reads engine state (document, canonical relations,
+lattice, candidate buckets) that every worker shares -- by copy-on-write
+fork locally, by construction in a serial run -- and returns a
+**fragment**: a picklable value (plain tuples, ints, strings,
+:class:`~repro.xmldom.dewey.DeweyID`) that crosses the process boundary
+and is merged deterministically by :mod:`repro.sharding.merge`.
+
+Three unit kinds cover the round:
+
+* :class:`RefreshUnit` -- the PIMT/PDMT extent scan; fragment: the
+  ``(old row, new row)`` rewrite pairs.
+* :class:`DeleteSideUnit` -- Δ− extraction, term development and
+  ET-DEL evaluation against reconstructed pre-batch relations;
+  fragment: the doomed-embedding map ``{binding ID key: projected
+  row}``.
+* :class:`InsertSideUnit` -- Δ+ extraction, term development, ET-INS
+  evaluation over survivor relations, plus the snowcap-addition rows
+  (shipped as ID tuples and re-resolved to live nodes by the owner);
+  fragment: ``(additions, snowcap id-rows)``.
+
+Mutation of views, stores and lattices never happens here -- fragments
+are applied by the engine on the owning process, which is what keeps
+sharded extents byte-identical to the serial path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.maintenance.delete import (
+    collect_delete_embeddings,
+    surviving_delete_terms,
+)
+from repro.maintenance.delta import BatchCandidates, delta_from_candidates
+from repro.maintenance.insert import (
+    collect_attribute_refreshes,
+    collect_insert_additions,
+    snowcap_additions,
+    surviving_insert_terms,
+)
+
+
+class UnitStats:
+    """Sub-timings and counters one unit reports back (picklable)."""
+
+    __slots__ = (
+        "live",
+        "delta_sizes",
+        "terms_developed",
+        "terms_surviving",
+        "delta_seconds",
+        "develop_seconds",
+        "eval_seconds",
+        "snowcap_seconds",
+    )
+
+    def __init__(self) -> None:
+        self.live = False
+        self.delta_sizes: Dict[str, int] = {}
+        self.terms_developed = 0
+        self.terms_surviving = 0
+        self.delta_seconds = 0.0
+        self.develop_seconds = 0.0
+        self.eval_seconds = 0.0
+        self.snowcap_seconds = 0.0
+
+
+class ShardWorkUnit:
+    """Base: a schedulable, independently executable slice of work."""
+
+    kind = "unit"
+
+    def __init__(self, view_name: str, shard: int, labels: Sequence[str], estimate: int):
+        self.view_name = view_name
+        self.shard = shard
+        self.labels = list(labels)
+        #: rough work size used for LPT ordering (candidate rows, extent rows).
+        self.estimate = estimate
+
+    def execute(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return "%s(%s, shard=%d, est=%d)" % (
+            type(self).__name__,
+            self.view_name,
+            self.shard,
+            self.estimate,
+        )
+
+
+class RefreshUnit(ShardWorkUnit):
+    """Collect the merged PIMT/PDMT val/cont rewrite pairs of one view."""
+
+    kind = "refresh"
+
+    def __init__(
+        self,
+        view_name: str,
+        shard: int,
+        *,
+        view,
+        document,
+        insert_target_ids,
+        delete_target_ids,
+    ):
+        super().__init__(view_name, shard, (), estimate=len(view))
+        self.view = view
+        self.document = document
+        self.insert_target_ids = insert_target_ids
+        self.delete_target_ids = delete_target_ids
+
+    def execute(self) -> List[Tuple[tuple, tuple]]:
+        return collect_attribute_refreshes(
+            self.view, self.document, self.insert_target_ids, self.delete_target_ids
+        )
+
+
+class DeleteSideUnit(ShardWorkUnit):
+    """Δ− extraction + ET-DEL for one view (pre-batch relations)."""
+
+    kind = "minus"
+
+    def __init__(
+        self,
+        view_name: str,
+        shard: int,
+        labels: Sequence[str],
+        estimate: int,
+        *,
+        engine,
+        registered,
+        removed_candidates: BatchCandidates,
+        inserted_ids: set,
+        inserted_labels: set,
+        source_cache: Optional[dict],
+    ):
+        super().__init__(view_name, shard, labels, estimate)
+        self.engine = engine
+        self.registered = registered
+        self.removed_candidates = removed_candidates
+        self.inserted_ids = inserted_ids
+        self.inserted_labels = inserted_labels
+        self.source_cache = source_cache
+
+    def execute(self) -> Tuple[Dict[tuple, tuple], UnitStats]:
+        stats = UnitStats()
+        pattern = self.registered.pattern
+        started = time.perf_counter()
+        delta_minus = delta_from_candidates(pattern, self.removed_candidates, "-")
+        stats.delta_seconds = time.perf_counter() - started
+        stats.delta_sizes = {
+            name: len(delta_minus.nodes(name)) for name in pattern.node_names()
+        }
+        if not delta_minus.nonempty_names():
+            return {}, stats
+        stats.live = True
+        started = time.perf_counter()
+        terms, developed = surviving_delete_terms(
+            pattern,
+            delta_minus,
+            self.engine.prune_even_terms,
+            self.engine.use_data_pruning,
+            self.engine.use_id_pruning,
+        )
+        stats.develop_seconds = time.perf_counter() - started
+        stats.terms_developed = developed
+        stats.terms_surviving = len(terms)
+        old_sources = self.engine._sources_pre_batch(
+            pattern,
+            self.inserted_ids,
+            self.inserted_labels,
+            self.removed_candidates,
+            self.source_cache,
+        )
+        embeddings, stats.eval_seconds = collect_delete_embeddings(
+            pattern, terms, old_sources, delta_minus, self.registered.lattice
+        )
+        return embeddings, stats
+
+
+class InsertSideUnit(ShardWorkUnit):
+    """Δ+ extraction + ET-INS + snowcap additions for one view."""
+
+    kind = "plus"
+
+    def __init__(
+        self,
+        view_name: str,
+        shard: int,
+        labels: Sequence[str],
+        estimate: int,
+        *,
+        engine,
+        registered,
+        inserted_candidates: BatchCandidates,
+        inserted_ids: set,
+        inserted_labels: set,
+        insert_target_ids,
+        source_cache: Optional[dict],
+        ship_ids: bool = True,
+    ):
+        super().__init__(view_name, shard, labels, estimate)
+        self.engine = engine
+        self.registered = registered
+        self.inserted_candidates = inserted_candidates
+        self.inserted_ids = inserted_ids
+        self.inserted_labels = inserted_labels
+        self.insert_target_ids = insert_target_ids
+        self.source_cache = source_cache
+        #: True when the fragment crosses a process boundary: binding
+        #: rows are then shipped as ID tuples (nodes would drag the
+        #: whole tree through pickle) and re-resolved by the owner.
+        #: In-process execution hands the relations over directly.
+        self.ship_ids = ship_ids
+
+    def execute(self) -> Tuple[Dict[tuple, int], Optional[dict], UnitStats]:
+        stats = UnitStats()
+        pattern = self.registered.pattern
+        started = time.perf_counter()
+        delta_plus = delta_from_candidates(pattern, self.inserted_candidates, "+")
+        stats.delta_seconds = time.perf_counter() - started
+        stats.delta_sizes = {
+            name: len(delta_plus.nodes(name)) for name in pattern.node_names()
+        }
+        if not delta_plus.nonempty_names():
+            return {}, None, stats
+        stats.live = True
+        started = time.perf_counter()
+        terms, developed = surviving_insert_terms(
+            pattern,
+            delta_plus,
+            self.insert_target_ids,
+            self.engine.use_data_pruning,
+            self.engine.use_id_pruning,
+        )
+        stats.develop_seconds = time.perf_counter() - started
+        stats.terms_developed = developed
+        stats.terms_surviving = len(terms)
+        r_sources = self.engine._sources_excluding(
+            pattern,
+            self.inserted_ids,
+            cache=self.source_cache,
+            excluded_labels=self.inserted_labels,
+        )
+        additions, stats.eval_seconds = collect_insert_additions(
+            pattern, terms, r_sources, delta_plus, self.registered.lattice
+        )
+        snowcap_rows: Optional[dict] = None
+        lattice = self.registered.lattice
+        if lattice.materialized_sets():
+            started = time.perf_counter()
+            relations = snowcap_additions(
+                pattern,
+                lattice,
+                r_sources,
+                delta_plus,
+                self.insert_target_ids,
+                self.engine.use_data_pruning,
+                self.engine.use_id_pruning,
+            )
+            if self.ship_ids:
+                snowcap_rows = {
+                    subset: (
+                        relation.schema,
+                        [tuple(cell.id for cell in row) for row in relation.rows],
+                    )
+                    for subset, relation in relations.items()
+                }
+            else:
+                snowcap_rows = relations
+            stats.snowcap_seconds = time.perf_counter() - started
+        return additions, snowcap_rows, stats

@@ -176,13 +176,24 @@ def _merge_inserts(first: InsertUpdate, second: InsertUpdate) -> InsertUpdate:
     return InsertUpdate(first.target, forest, name=name)
 
 
+def _covered_by_deletes(target_id, delete_ids: set) -> bool:
+    """Is ``target_id`` one of (O1) or a descendant of (O3) the deleted
+    IDs?  Purely ID-based: the Dewey ID encodes the ancestor chain."""
+    if target_id in delete_ids:
+        return True
+    return any(ancestor in delete_ids for ancestor in target_id.ancestor_ids())
+
+
 class UpdateBatch:
     """An ordered group of statements propagated as one unit.
 
     A batch is the engine's unit of maintenance: one merged pending
     update list, one Δ extraction, one lattice pass.  ``coalesced``
-    merges adjacent inserts that provably share a target set, so the
-    batch pays one target resolution for the run; insert-then-delete
+    first shrinks the stream with the Section 5 reduction rules over
+    resolved statements (``reduced``: O1/O3 void earlier operations a
+    later deletion subsumes), then merges adjacent inserts that
+    provably share a target set (the statement-level I5), so the batch
+    pays one target resolution per surviving run; insert-then-delete
     cancellation of whole subtrees happens later, at the net-delta
     level (nodes inserted and removed within one batch appear in
     neither Δ+ nor Δ−).
@@ -206,10 +217,74 @@ class UpdateBatch:
     def __iter__(self):
         return iter(self.statements)
 
-    def coalesced(self) -> "UpdateBatch":
-        """A semantically equivalent batch with adjacent inserts merged."""
+    def reduced(self) -> "UpdateBatch":
+        """Apply the Figure 14 reduction rules O1/O3 at batch level.
+
+        A :class:`ResolvedDeleteUpdate` voids every *earlier* resolved
+        **insertion** targeting a deleted node (O1's ``ins↘(n); del(n)``)
+        or a node inside a deleted subtree (O3): the deletion removes
+        the whole subtree anyway, so the insert never needs to run.
+        Both tests read only Dewey IDs, so queued streams shrink
+        *before* target resolution touches the document.
+
+        Earlier *deletions* are deliberately left alone even when a
+        later deletion subsumes them: removing a node early frees its
+        sibling slot, so an intervening insert into the surviving
+        parent would be assigned a different ordinal than in the
+        sequential run.  (The document-level optimizer,
+        ``apply_sequence(optimize=True)``, still applies the full O1
+        in the paper's setting of pre-compiled operation lists.)
+
+        Reduction never reaches across an unresolved (path-targeted)
+        statement either: a path resolves against the document state
+        its predecessors produced, and a voided insert could have
+        created or enabled matches for it.  Under these two
+        restrictions a voided insert only ever added children inside
+        subtrees the later deletion takes out whole, so the reduced
+        batch's final extents -- and Dewey assignment -- stay
+        byte-identical to the unreduced run.
+        """
         out: List[UpdateStatement] = []
+        #: entries of ``out`` below this index predate an unresolved
+        #: statement and may not be voided.
+        barrier = 0
         for statement in self.statements:
+            target_ids = getattr(statement, "target_ids", None)
+            if target_ids is None:
+                out.append(statement)
+                barrier = len(out)
+                continue
+            if isinstance(statement, DeleteUpdate) and target_ids:
+                delete_ids = set(target_ids)
+                reduced_tail: List[UpdateStatement] = []
+                for earlier in out[barrier:]:
+                    earlier_ids = getattr(earlier, "target_ids", None)
+                    if earlier_ids is None or not isinstance(earlier, InsertUpdate):
+                        reduced_tail.append(earlier)
+                        continue
+                    survivors = [
+                        target
+                        for target in earlier_ids
+                        if not _covered_by_deletes(target, delete_ids)
+                    ]
+                    if len(survivors) == len(earlier_ids):
+                        reduced_tail.append(earlier)
+                    elif survivors:
+                        reduced_tail.append(
+                            ResolvedInsertUpdate(
+                                survivors, earlier.forest, name=earlier.name
+                            )
+                        )
+                    # else: fully voided (O1/O3) -- drop the statement.
+                out = out[:barrier] + reduced_tail
+            out.append(statement)
+        return UpdateBatch(out, name=self.name)
+
+    def coalesced(self) -> "UpdateBatch":
+        """A semantically equivalent batch, reduced (O1/O3) with
+        adjacent same-target inserts merged (statement-level I5)."""
+        out: List[UpdateStatement] = []
+        for statement in self.reduced().statements:
             if (
                 out
                 and isinstance(statement, InsertUpdate)

@@ -216,10 +216,17 @@ class SnowcapLattice:
     ) -> int:
         """Merged upkeep: drop doomed rows and append fresh ones.
 
-        One filter + extend + sort pass per touched relation, however
-        many statements contributed to ``deleted_ids``/``additions``;
+        One filter + extend pass per touched relation, however many
+        statements contributed to ``deleted_ids``/``additions``;
         returns the number of rows removed.  Untouched relations are
-        left as-is (no copy, no sort).
+        left as-is (no copy).
+
+        Stored relations are *bags*: materialization produces them in
+        document order, but incremental upkeep appends fresh rows at
+        the end instead of re-sorting ``O(n)`` rows per batch -- every
+        consumer is order-free (hash-indexed structural joins, ID-keyed
+        deletion filters, multiset comparisons), so only the multiset
+        of rows is part of the contract.
         """
         removed = 0
         for subset, relation in self._materialized.items():
@@ -241,9 +248,8 @@ class SnowcapLattice:
                 kept = list(kept)
             if has_extra:
                 kept.extend(extra.reordered(relation.schema).rows)
-                kept.sort(key=lambda row: tuple(cell.id for cell in row))
-                # Sorting permutes positions only; cached indexes map
-                # IDs to row tuples and are invalidated by replace_rows.
+            # Appending/filtering changes positions only; cached indexes
+            # map IDs to row tuples and are invalidated by replace_rows.
             relation.replace_rows(kept)
         return removed
 

@@ -7,13 +7,21 @@ delete, range scans and optional file persistence.
 
 View tuples are the keys (they sort by their leading ID columns, i.e.,
 document order), derivation counts are the values.
+
+An optional ``order_key`` callable maps stored keys to the comparison
+keys the B-tree actually orders by.  It must induce exactly the same
+total order as comparing the keys directly -- the point is speed, not
+semantics: view tuples contain :class:`~repro.xmldom.dewey.DeweyID`
+cells whose rich comparisons are Python calls, while their precomputed
+``sort_key`` tuples compare entirely in C, so the store keeps a
+parallel list of mapped keys and runs every bisect against it.
 """
 
 from __future__ import annotations
 
 import bisect
 import pickle
-from typing import Any, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
 
 #: sentinel value marking a deletion in :meth:`OrderedTupleStore.bulk_apply`.
 DELETED = object()
@@ -28,36 +36,47 @@ class OrderedTupleStore:
     experiments and faithful to a B-tree's interface.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, order_key: Optional[Callable[[Any], Any]] = None) -> None:
         self._keys: List[Any] = []
         self._values: List[Any] = []
+        self._order_key = order_key
+        #: parallel comparison keys; aliases _keys when no mapper is set.
+        self._order: List[Any] = [] if order_key is not None else self._keys
+
+    def _mapped(self, key: Any) -> Any:
+        return key if self._order_key is None else self._order_key(key)
 
     # -- point operations ------------------------------------------------
 
     def get(self, key: Any, default: Any = None) -> Any:
-        index = bisect.bisect_left(self._keys, key)
+        index = bisect.bisect_left(self._order, self._mapped(key))
         if index < len(self._keys) and self._keys[index] == key:
             return self._values[index]
         return default
 
     def put(self, key: Any, value: Any) -> None:
-        index = bisect.bisect_left(self._keys, key)
+        mapped = self._mapped(key)
+        index = bisect.bisect_left(self._order, mapped)
         if index < len(self._keys) and self._keys[index] == key:
             self._values[index] = value
         else:
             self._keys.insert(index, key)
             self._values.insert(index, value)
+            if self._order_key is not None:
+                self._order.insert(index, mapped)
 
     def delete(self, key: Any) -> bool:
-        index = bisect.bisect_left(self._keys, key)
+        index = bisect.bisect_left(self._order, self._mapped(key))
         if index < len(self._keys) and self._keys[index] == key:
             self._keys.pop(index)
             self._values.pop(index)
+            if self._order_key is not None:
+                self._order.pop(index)
             return True
         return False
 
     def __contains__(self, key: Any) -> bool:
-        index = bisect.bisect_left(self._keys, key)
+        index = bisect.bisect_left(self._order, self._mapped(key))
         return index < len(self._keys) and self._keys[index] == key
 
     def __len__(self) -> int:
@@ -82,14 +101,20 @@ class OrderedTupleStore:
 
     def range(self, low: Optional[Any] = None, high: Optional[Any] = None) -> Iterator[Tuple[Any, Any]]:
         """Items with ``low <= key < high`` (None = unbounded)."""
-        start = 0 if low is None else bisect.bisect_left(self._keys, low)
-        stop = len(self._keys) if high is None else bisect.bisect_left(self._keys, high)
+        start = 0 if low is None else bisect.bisect_left(self._order, self._mapped(low))
+        stop = (
+            len(self._keys)
+            if high is None
+            else bisect.bisect_left(self._order, self._mapped(high))
+        )
         for index in range(start, stop):
             yield self._keys[index], self._values[index]
 
     def clear(self) -> None:
         self._keys.clear()
         self._values.clear()
+        if self._order_key is not None:
+            self._order.clear()
 
     # -- bulk / persistence -----------------------------------------------------
 
@@ -102,40 +127,56 @@ class OrderedTupleStore:
         lists in a single O(n + k) pass -- the batch pipeline's
         replacement for k individual O(n) shifting inserts.
         """
+        separate_order = self._order_key is not None
         new_keys: List[Any] = []
         new_values: List[Any] = []
+        new_order: List[Any] = new_keys if not separate_order else []
         index = 0
         keys = self._keys
         values = self._values
+        order = self._order
         previous = None
         for key, value in changes:
-            if previous is not None and not previous < key:
+            mapped = self._mapped(key)
+            if previous is not None and not previous < mapped:
                 raise ValueError("bulk_apply changes are not strictly increasing")
-            previous = key
-            position = bisect.bisect_left(keys, key, index)
+            previous = mapped
+            position = bisect.bisect_left(order, mapped, index)
             new_keys.extend(keys[index:position])
             new_values.extend(values[index:position])
+            if separate_order:
+                new_order.extend(order[index:position])
             index = position
             if index < len(keys) and keys[index] == key:
                 index += 1  # replaced or deleted below
             if value is not DELETED:
                 new_keys.append(key)
                 new_values.append(value)
+                if separate_order:
+                    new_order.append(mapped)
         new_keys.extend(keys[index:])
         new_values.extend(values[index:])
         self._keys = new_keys
         self._values = new_values
+        if separate_order:
+            new_order.extend(order[index:])
+            self._order = new_order
+        else:
+            self._order = new_keys
 
     def load_sorted(self, items: Iterable[Tuple[Any, Any]]) -> None:
         """Bulk-load pre-sorted items (replaces current content)."""
         self.clear()
         previous = None
         for key, value in items:
-            if previous is not None and not previous < key:
+            mapped = self._mapped(key)
+            if previous is not None and not previous < mapped:
                 raise ValueError("load_sorted input is not strictly increasing")
             self._keys.append(key)
             self._values.append(value)
-            previous = key
+            if self._order_key is not None:
+                self._order.append(mapped)
+            previous = mapped
 
     def dump(self, path: str) -> None:
         with open(path, "wb") as handle:

@@ -14,9 +14,18 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.pattern.evaluate import evaluate_view, view_columns
 from repro.pattern.tree_pattern import Pattern
 from repro.views.store import DELETED, OrderedTupleStore
+from repro.xmldom.dewey import DeweyID
 from repro.xmldom.model import Document
 
 ViewTuple = tuple
+
+
+def row_sort_key(row: ViewTuple) -> tuple:
+    """C-comparable key ordering view tuples exactly like plain tuple
+    comparison (DeweyID cells order by their precomputed sort_key)."""
+    return tuple(
+        cell.sort_key if isinstance(cell, DeweyID) else cell for cell in row
+    )
 
 
 class MaterializedView:
@@ -27,7 +36,9 @@ class MaterializedView:
         self.pattern = pattern
         self.name = name
         self.columns: List[str] = view_columns(pattern)
-        self._store = OrderedTupleStore()
+        # C-comparable ordering keys keep the hot store bisects off
+        # DeweyID's Python-level rich comparisons.
+        self._store = OrderedTupleStore(order_key=row_sort_key)
 
     # -- construction ------------------------------------------------------
 
@@ -38,7 +49,9 @@ class MaterializedView:
         content = evaluate_view(pattern, document)
         # Distinct rows sorted by key: bulk-load in one pass instead of
         # O(n²) per-row sorted inserts.
-        view._store.load_sorted(sorted(content, key=lambda item: item[0]))
+        view._store.load_sorted(
+            sorted(content, key=lambda item: row_sort_key(item[0]))
+        )
         return view
 
     # -- reads ----------------------------------------------------------------
@@ -120,7 +133,7 @@ class MaterializedView:
             delta[row] = delta.get(row, 0) - count
         changes = []
         tuples_removed = 0
-        for row in sorted(delta):
+        for row in sorted(delta, key=row_sort_key):
             shift = delta[row]
             if shift == 0:
                 continue

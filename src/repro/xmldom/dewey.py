@@ -184,7 +184,7 @@ class DeweyID:
     dynamic ordinals).
     """
 
-    __slots__ = ("steps", "_hash", "_key")
+    __slots__ = ("steps", "_hash", "_key", "_ancestors")
 
     def __init__(self, steps: Sequence[Tuple[str, Sequence[int]]]):
         if not steps:
@@ -207,6 +207,7 @@ class DeweyID:
         else:
             self._key = pairs
         self._hash = hash(self.steps)
+        self._ancestors: "Tuple[DeweyID, ...] | None" = None
 
     # -- construction -------------------------------------------------
 
@@ -215,9 +216,30 @@ class DeweyID:
         """The ID of a document root labeled ``label``."""
         return cls(((label, (1,)),))
 
+    @classmethod
+    def _from_steps(cls, steps: Tuple[Tuple[str, Ordinal], ...]) -> "DeweyID":
+        """Internal: build from *already-normalized* steps.
+
+        ``child`` / ``parent`` / ``ancestor_ids`` derive IDs whose steps
+        are prefixes (or one-step extensions) of an existing ID, so the
+        per-step normalization of ``__init__`` would be pure overhead on
+        the hottest construction paths (Dewey assignment during
+        document writes, ancestor probing inside structural joins).
+        """
+        self = object.__new__(cls)
+        self.steps = steps
+        pairs = tuple((ordinal, label) for label, ordinal in steps)
+        if any(part < 0 for ordinal, _ in pairs for part in ordinal[1:]):
+            self._key = _PaddedKey(pairs)
+        else:
+            self._key = pairs
+        self._hash = hash(steps)
+        self._ancestors = None
+        return self
+
     def child(self, label: str, ordinal: Sequence[int]) -> "DeweyID":
         """The ID of a child of this node with the given label/ordinal."""
-        return DeweyID(self.steps + ((label, _normalize(ordinal)),))
+        return DeweyID._from_steps(self.steps + ((label, _normalize(ordinal)),))
 
     # -- basic accessors ----------------------------------------------
 
@@ -238,16 +260,27 @@ class DeweyID:
         """ID of the parent node, or None for the root."""
         if len(self.steps) == 1:
             return None
-        return DeweyID(self.steps[:-1])
+        cached = self._ancestors
+        if cached is not None:
+            return cached[-1]
+        return DeweyID._from_steps(self.steps[:-1])
 
     def ancestor_ids(self) -> Iterator["DeweyID"]:
         """IDs of all proper ancestors, outermost first.
 
         This is property (2) of the scheme: ancestor IDs are extracted
-        from the node's own ID without touching the document.
+        from the node's own ID without touching the document.  The
+        tuple is memoized: structural joins probe the same Δ rows once
+        per term and view, and rebuilding the chain dominated the join.
         """
-        for i in range(1, len(self.steps)):
-            yield DeweyID(self.steps[:i])
+        cached = self._ancestors
+        if cached is None:
+            cached = tuple(
+                DeweyID._from_steps(self.steps[:i])
+                for i in range(1, len(self.steps))
+            )
+            self._ancestors = cached
+        return iter(cached)
 
     def ancestor_labels(self) -> Tuple[str, ...]:
         """Labels of all proper ancestors, outermost first."""
@@ -273,6 +306,15 @@ class DeweyID:
     def has_ancestor_labeled(self, label: str) -> bool:
         """Does any proper ancestor carry ``label``?  (Props. 3.8 / 4.7.)"""
         return label in self.ancestor_labels()
+
+    @property
+    def sort_key(self):
+        """The precomputed document-order key (plain nested tuples for
+        generator-produced ordinals).  ``sorted(nodes, key=lambda n:
+        n.id.sort_key)`` compares entirely in C, unlike sorting
+        :class:`DeweyID` objects whose rich comparisons are Python
+        calls; equal keys imply equal IDs."""
+        return self._key
 
     # -- ordering ------------------------------------------------------
 
@@ -308,6 +350,15 @@ class DeweyID:
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        # Ship only the steps across process boundaries (the sharded
+        # maintenance pipeline pickles IDs inside Δ fragments); key,
+        # hash and the ancestor cache are rebuilt on the other side.
+        # A live ID's steps are already normalized, so reconstruction
+        # takes the fast path -- fragment unpickling is on the critical
+        # merge path of every parallel round.
+        return (_dewey_from_normalized_steps, (self.steps,))
 
     # -- compact encoding ---------------------------------------------
 
@@ -354,6 +405,11 @@ class DeweyID:
             suffix = "_".join(str(part) for part in ordinal)
             rendered.append("%s%s" % (label, suffix))
         return ".".join(rendered)
+
+
+def _dewey_from_normalized_steps(steps) -> "DeweyID":
+    """Module-level unpickle hook for :meth:`DeweyID.__reduce__`."""
+    return DeweyID._from_steps(steps)
 
 
 # -- sorted-list probes (Dewey order puts a subtree in one contiguous

@@ -117,6 +117,61 @@ class TestFlushAndClose:
             queue.close()
 
 
+class TestCloseWithPendingBatches:
+    def test_close_flushes_multiple_pending_batches(self):
+        # max_batch_size=3 over 10 statements: close() must drain at
+        # least four batches that were all still pending, resolving
+        # every ticket with the report of its own batch.
+        stream = _stream(10, insert_ratio=1.0)
+        engine, registered = _fresh_engine()
+        queue = ApplyQueue(engine, max_batch_size=3, flush_interval=10.0)
+        tickets = queue.extend_async(stream)
+        assert queue.pending_count == 10
+        queue.close()
+        assert queue.pending_count == 0
+        assert queue.batches_applied >= 4
+        reports = [ticket.result(timeout=5) for ticket in tickets]
+        assert sum(report.statements_applied for report in set(reports)) <= 10
+        assert registered.view.equals_fresh_evaluation(engine.document)
+
+    def test_close_with_pending_poison_batch(self):
+        # A poison statement sitting in the *pending* backlog at close
+        # time fails exactly its batch; close still drains the rest and
+        # the views stay consistent (recompute fallback).
+        engine, registered = _fresh_engine()
+        good_before = _stream(2, insert_ratio=1.0)
+        bad = InsertUpdate("/site/people/person/@id", "<x/>", name="bad")
+        good_after = _stream(2, seed=6, insert_ratio=1.0)
+        queue = ApplyQueue(engine, max_batch_size=1, flush_interval=10.0)
+        ok_tickets = queue.extend_async(good_before)
+        poisoned = queue.apply_async(bad)
+        tail_tickets = queue.extend_async(good_after)
+        queue.close()
+        for ticket in ok_tickets + tail_tickets:
+            assert ticket.result(timeout=5) is not None
+        with pytest.raises(ValueError):
+            poisoned.result(timeout=5)
+        assert registered.view.equals_fresh_evaluation(engine.document)
+
+    def test_poison_batch_shares_error_across_its_tickets(self):
+        # With everything in ONE batch, the failure poisons every
+        # statement of the batch -- all tickets carry the same error.
+        engine, registered = _fresh_engine()
+        statements = _stream(2, insert_ratio=1.0) + [
+            InsertUpdate("/site/people/person/@id", "<x/>", name="bad")
+        ]
+        queue = ApplyQueue(engine, max_batch_size=10, flush_interval=10.0)
+        tickets = queue.extend_async(statements)
+        queue.close()
+        errors = []
+        for ticket in tickets:
+            with pytest.raises(ValueError):
+                ticket.result(timeout=5)
+            errors.append(ticket._error)
+        assert len({id(error) for error in errors}) == 1
+        assert registered.view.equals_fresh_evaluation(engine.document)
+
+
 class TestErrorPropagation:
     def test_poison_statement_fails_its_batch_only(self):
         engine, registered = _fresh_engine()

@@ -18,8 +18,10 @@ from repro.maintenance.engine import BatchEngine, MaintenanceEngine
 from repro.updates.language import (
     DeleteUpdate,
     InsertUpdate,
+    ResolvedDeleteUpdate,
     ResolvedInsertUpdate,
     UpdateBatch,
+    parse_update,
 )
 from repro.updates.pul import compute_pul
 from repro.workloads.queries import view_pattern
@@ -218,6 +220,192 @@ class TestCoalescing:
         assert report.cancelled > 0
         assert registered.view.content() == before
         assert registered.view.equals_fresh_evaluation(document)
+
+
+class TestReductionRules:
+    """O1/O3/I5 folded into UpdateBatch (Figure 14 at batch level)."""
+
+    def _target(self, document, path):
+        statement = parse_update("delete %s" % path)
+        return statement.target.evaluate(document)[0].id
+
+    def test_o1_insert_then_delete_same_node_drops_insert(self):
+        document = generate_document(scale=1)
+        person = self._target(document, "/site/people/person")
+        batch = UpdateBatch(
+            [
+                ResolvedInsertUpdate([person], insert_update("X1_L").forest, name="ins"),
+                ResolvedDeleteUpdate([person], name="del"),
+            ]
+        )
+        reduced = batch.reduced()
+        assert [s.name for s in reduced.statements] == ["del"]
+
+    def test_o3_delete_of_ancestor_voids_descendant_inserts_only(self):
+        document = generate_document(scale=1)
+        person = self._target(document, "/site/people/person")
+        people = self._target(document, "/site/people")
+        batch = UpdateBatch(
+            [
+                ResolvedInsertUpdate([person], insert_update("X1_L").forest, name="ins"),
+                ResolvedDeleteUpdate([person], name="early_del"),
+                ResolvedDeleteUpdate([people], name="late_del"),
+            ]
+        )
+        reduced = batch.reduced()
+        # The insert under the doomed subtree is voided; the earlier
+        # deletion is NOT (removing it would shift ordinal assignment
+        # of any intervening insert into a surviving parent).
+        assert [s.name for s in reduced.statements] == ["early_del", "late_del"]
+
+    def test_duplicate_delete_is_not_voided_ordinal_regression(self):
+        # Regression: [delete X, insert into P, delete X] must apply the
+        # first delete -- voiding it leaves X in P's child list when the
+        # insert picks its ordinal, diverging from sequential Dewey
+        # assignment.
+        document = generate_document(scale=1)
+        person = parse_update("delete /site/people/person").target.evaluate(document)[0]
+        people = person.parent
+        statements = [
+            ResolvedDeleteUpdate([person.id], name="d0"),
+            ResolvedInsertUpdate(
+                [people.id], insert_update("X1_L").forest, name="ins"
+            ),
+            ResolvedDeleteUpdate([person.id], name="d1"),
+        ]
+        reduced = UpdateBatch(statements).reduced()
+        assert [s.name for s in reduced.statements] == ["d0", "ins", "d1"]
+        sequential_doc = generate_document(scale=1)
+        sequential = MaintenanceEngine(sequential_doc)
+        sequential_view = sequential.register_view(view_pattern("Q1"), "Q1")
+        for statement in statements:
+            sequential.apply_update(statement)
+        batch_doc = generate_document(scale=1)
+        batched = BatchEngine(batch_doc)
+        batch_view = batched.register_view(view_pattern("Q1"), "Q1")
+        batched.apply(UpdateBatch(statements))
+        _assert_equivalent(
+            {"Q1": sequential_view}, {"Q1": batch_view}, sequential_doc, batch_doc
+        )
+
+    def test_partial_voiding_keeps_surviving_targets(self):
+        document = generate_document(scale=1)
+        persons = parse_update("delete /site/people/person").target.evaluate(document)
+        doomed, survivor = persons[0].id, persons[1].id
+        batch = UpdateBatch(
+            [
+                ResolvedInsertUpdate(
+                    [doomed, survivor], insert_update("X1_L").forest, name="ins"
+                ),
+                ResolvedDeleteUpdate([doomed], name="del"),
+            ]
+        )
+        reduced = batch.reduced()
+        assert [s.name for s in reduced.statements] == ["ins", "del"]
+        assert reduced.statements[0].target_ids == [survivor]
+
+    def test_unresolved_statement_blocks_reduction_across_it(self):
+        document = generate_document(scale=1)
+        person = self._target(document, "/site/people/person")
+        batch = UpdateBatch(
+            [
+                ResolvedInsertUpdate([person], insert_update("X1_L").forest, name="ins"),
+                insert_update("X2_L"),  # path-targeted: resolution barrier
+                ResolvedDeleteUpdate([person], name="del"),
+            ]
+        )
+        reduced = batch.reduced()
+        assert [s.name for s in reduced.statements] == ["ins", "X2_L", "del"]
+
+    def test_i5_runs_through_coalesced_after_reduction(self):
+        document = generate_document(scale=1)
+        persons = parse_update("delete /site/people/person").target.evaluate(document)
+        doomed, kept = persons[0].id, persons[1].id
+        forest = insert_update("X1_L").forest
+        batch = UpdateBatch(
+            [
+                ResolvedInsertUpdate([kept], forest, name="a"),
+                ResolvedInsertUpdate([doomed], forest, name="void_me"),
+                ResolvedInsertUpdate([kept], forest, name="b"),
+                ResolvedDeleteUpdate([doomed], name="del"),
+            ]
+        )
+        coalesced = batch.coalesced()
+        # Voiding the middle insert (O1) makes a/b adjacent; I5 merges them.
+        assert [s.name for s in coalesced.statements] == ["a+b", "del"]
+
+    def test_reduced_batch_extents_match_sequential(self):
+        document = generate_document(scale=1)
+        persons = parse_update("delete /site/people/person").target.evaluate(document)
+        statements = [
+            ResolvedInsertUpdate([persons[0].id], insert_update("X1_L").forest, name="i0"),
+            ResolvedInsertUpdate([persons[1].id], insert_update("X1_L").forest, name="i1"),
+            ResolvedDeleteUpdate([persons[0].id], name="d0"),
+        ]
+        sequential_doc = generate_document(scale=1)
+        sequential = MaintenanceEngine(sequential_doc)
+        sequential_view = sequential.register_view(view_pattern("Q1"), "Q1")
+        for statement in statements:
+            sequential.apply_update(statement)
+        batch_doc = generate_document(scale=1)
+        batched = BatchEngine(batch_doc)
+        batch_view = batched.register_view(view_pattern("Q1"), "Q1")
+        report = batched.apply(UpdateBatch(statements))
+        assert report.statements_applied == 2  # i0 voided by d0
+        _assert_equivalent(
+            {"Q1": sequential_view}, {"Q1": batch_view}, sequential_doc, batch_doc
+        )
+
+
+class TestFallbackReasons:
+    """BatchReport.fallbacks carries the reason the recompute fired."""
+
+    def test_predicate_flip_reason(self):
+        document = parse_document(
+            "<site><open_auctions><open_auction><bidder>"
+            "<increase>4.50</increase></bidder></open_auction>"
+            "</open_auctions></site>"
+        )
+        engine = BatchEngine(document)
+        registered = engine.register_view(view_pattern("Q3"), "Q3")
+        report = engine.apply(
+            UpdateBatch([parse_update("for $i in //increase insert flip", name="flip")])
+        )
+        assert report.fallbacks == {"Q3": "predicate_flip"}
+        assert report.report_for("Q3").predicate_fallback
+        assert registered.view.equals_fresh_evaluation(document)
+
+    def test_dirty_removed_subtree_reason(self):
+        document = generate_document(scale=1)
+        engine = BatchEngine(document)
+        registered = engine.register_view(view_pattern("Q1"), "Q1")
+        # Q1 stores name.val, so drift matters only on removed *name*
+        # nodes: insert under an existing name, then delete its whole
+        # ancestor chain via a *path* (a resolved delete would just
+        # void the insert per O3) -- the removed name's val/cont
+        # drifted before its removal.
+        name = parse_update("delete /site/people/person/name").target.evaluate(
+            document
+        )[0]
+        report = engine.apply(
+            UpdateBatch(
+                [
+                    ResolvedInsertUpdate(
+                        [name.id], insert_update("X1_L").forest, name="ins"
+                    ),
+                    parse_update("delete /site/people", name="del"),
+                ]
+            )
+        )
+        assert report.fallbacks == {"Q1": "dirty_removed_subtree"}
+        assert registered.view.equals_fresh_evaluation(document)
+
+    def test_clean_batches_report_no_fallbacks(self):
+        document = generate_document(scale=1)
+        engine = BatchEngine(document)
+        engine.register_view(view_pattern("Q1"), "Q1")
+        report = engine.apply(UpdateBatch([insert_update("X1_L")]))
+        assert report.fallbacks == {}
 
 
 class TestBatchEngineApi:
