@@ -13,4 +13,9 @@ setup(
     version="1.0.0",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    entry_points={
+        "console_scripts": [
+            "repro-lint=repro.analysis.cli:main",
+        ],
+    },
 )

@@ -1,0 +1,73 @@
+"""Baseline files: acknowledge legacy findings without silencing rules.
+
+A baseline is a JSON snapshot of finding fingerprints (path + rule +
+line text, line-number independent).  Runs with ``--baseline`` report
+only findings *not* in the snapshot, so a rule can be introduced
+strictly while old debt is paid down -- and the file doubles as the
+debt list.  The repo's own policy (ISSUE 6) is a *zero-entry* baseline:
+real violations get fixed, intentional exceptions get a line-level
+suppression comment with a justification.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Snapshot the findings' fingerprints; returns the entry count."""
+    entries = [
+        {
+            "fingerprint": finding.fingerprint(),
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.snippet,
+        }
+        for finding in sorted(findings, key=Finding.sort_key)
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)
+
+
+def load_baseline(path: str) -> Set[str]:
+    """The fingerprint set of a baseline file (``{}`` schema-checked)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise ValueError("%s: not a repro-lint baseline file" % path)
+    fingerprints = set()
+    for entry in payload["entries"]:
+        fingerprint = entry.get("fingerprint") if isinstance(entry, dict) else None
+        if not isinstance(fingerprint, str):
+            raise ValueError("%s: malformed baseline entry %r" % (path, entry))
+        fingerprints.add(fingerprint)
+    return fingerprints
+
+
+def split_against_baseline(
+    findings: List[Finding], fingerprints: Set[str]
+) -> Tuple[List[Finding], List[Finding], Set[str]]:
+    """``(new, baselined, stale)`` relative to a fingerprint set.
+
+    ``stale`` is the baseline debt that no longer matches anything --
+    entries to delete from the file once their findings are fixed.
+    """
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    seen: Set[str] = set()
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        if fingerprint in fingerprints:
+            baselined.append(finding)
+            seen.add(fingerprint)
+        else:
+            new.append(finding)
+    return new, baselined, fingerprints - seen

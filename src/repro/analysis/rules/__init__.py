@@ -1,0 +1,23 @@
+"""Rule modules; importing this package registers every rule.
+
+Five families, one module each:
+
+* :mod:`~repro.analysis.rules.determinism` -- hash-seed / wall-clock /
+  randomness hazards in packages whose iteration feeds ordered output;
+* :mod:`~repro.analysis.rules.forksafety` -- module-global writes in
+  fork-worker entry points and fork-hostile captures;
+* :mod:`~repro.analysis.rules.purity` -- shard work units must return
+  fragments, never write engine state through ``self``;
+* :mod:`~repro.analysis.rules.fragments` -- fragment/stats classes
+  carry only pickle-lean allowlisted field types;
+* :mod:`~repro.analysis.rules.layering` -- the import DAG
+  (xmldom -> algebra/pattern -> ... -> sharding) admits no upward edge.
+"""
+
+from repro.analysis.rules import (  # noqa: F401 (registration side effects)
+    determinism,
+    forksafety,
+    fragments,
+    layering,
+    purity,
+)

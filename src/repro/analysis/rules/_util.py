@@ -1,0 +1,48 @@
+"""Small AST helpers shared by the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for Name/Attribute chains, None for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def chain_root(node: ast.AST) -> Optional[ast.Name]:
+    """The leftmost Name of an Attribute/Subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node if isinstance(node, ast.Name) else None
+
+
+def func_scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    """The module plus every (async) function definition, outermost first."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def walk_shallow(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk a scope's body without descending into nested functions.
+
+    Lambdas and comprehensions are traversed (they share the enclosing
+    scope's data for our purposes); ``def``/``class`` bodies are not.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))

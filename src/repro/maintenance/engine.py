@@ -48,15 +48,6 @@ from repro.maintenance.insert import (
     snowcap_additions,
     surviving_insert_terms,
 )
-# Module-object imports: repro.sharding.units imports this package's
-# sibling modules, so binding the submodules (attributes resolved at
-# call time) instead of their names keeps either import order --
-# ``import repro.maintenance`` or ``import repro.sharding`` first --
-# cycle-free.
-from repro.sharding import executor as _shard_executor
-from repro.sharding import merge as _shard_merge
-from repro.sharding import planner as _shard_planner
-from repro.sharding import units as _shard_units
 from repro.pattern.evaluate import Sources, filter_by_predicate
 from repro.pattern.tree_pattern import Pattern
 from repro.pattern.xquery import ViewDefinition
@@ -79,6 +70,40 @@ PHASES = (
     "execute_update",
     "update_lattice",
 )
+
+#: The sharding backend seam (dependency inversion).  Maintenance sits
+#: *below* repro.sharding in the layer DAG (machine-checked by the
+#: repro-lint ``layer-upward-import`` rule), so this module never
+#: imports the sharding packages.  Instead ``repro.sharding`` calls
+#: :func:`register_shard_backend` with its own module object when it is
+#: imported, and the engine dispatches planner/executor/unit/merge
+#: lookups through the registered backend.  The ``repro`` package
+#: ``__init__`` (the exempt aggregator) imports the sharding layer, so
+#: any ``import repro.<anything>`` wires the seam before engine code
+#: can run.
+_SHARD_BACKEND = None
+
+
+def register_shard_backend(backend) -> None:
+    """Install the sharding layer's namespace as the engine's backend.
+
+    Called by ``repro/sharding/__init__.py`` at the end of its own
+    import; idempotent (last registration wins, which only matters for
+    tests injecting instrumented backends).
+    """
+    global _SHARD_BACKEND
+    _SHARD_BACKEND = backend
+
+
+def shard_backend():
+    """The registered sharding backend, or a pointed error if unwired."""
+    if _SHARD_BACKEND is None:
+        raise RuntimeError(
+            "no sharding backend registered: import the 'repro' package "
+            "(or 'repro.sharding') before driving the engine so the "
+            "sharding layer can register itself"
+        )
+    return _SHARD_BACKEND
 
 
 class PhaseTimes:
@@ -315,7 +340,7 @@ class MaintenanceEngine:
         use_data_pruning: bool = True,
         use_id_pruning: bool = True,
         workers: int = 0,
-        shard_plan: "Union[None, int, _shard_planner.ShardPlanner]" = None,
+        shard_plan: "Union[None, int, ShardPlanner]" = None,
     ):
         self.document = document
         self.prune_even_terms = prune_even_terms
@@ -461,9 +486,9 @@ class MaintenanceEngine:
         by batch (pair with ``ApplyQueue(engine.session(...))`` for a
         streaming write path).  ``weights`` optionally gives relative
         per-view maintenance costs for the worker assignment."""
-        from repro.sharding.session import ShardSession
-
-        return ShardSession(self, workers=workers, planner=planner, weights=weights)
+        return shard_backend().ShardSession(
+            self, workers=workers, planner=planner, weights=weights
+        )
 
     def apply_update(self, statement: UpdateStatement) -> PropagationReport:
         """Propagate one statement: document update + all views."""
@@ -656,7 +681,7 @@ class MaintenanceEngine:
         self,
         batch: Union[UpdateBatch, Sequence[UpdateStatement]],
         workers: Optional[int] = None,
-        shard_plan: "Union[None, int, _shard_planner.ShardPlanner]" = None,
+        shard_plan: "Union[None, int, ShardPlanner]" = None,
     ) -> BatchReport:
         """Propagate a whole batch: k statements, one maintenance round.
 
@@ -688,12 +713,13 @@ class MaintenanceEngine:
         the final extents always equal sequential application.
         """
         self._check_no_active_session()
+        backend = shard_backend()
         effective_workers = self.workers if workers is None else workers
-        planner = _shard_planner.ShardPlanner.coerce(
+        planner = backend.ShardPlanner.coerce(
             shard_plan if shard_plan is not None else self.shard_plan,
             effective_workers,
         )
-        executor = _shard_executor.ShardExecutor(effective_workers)
+        executor = backend.ShardExecutor(effective_workers)
         if isinstance(batch, UpdateBatch):
             submitted = len(batch)
             statements = batch.coalesced().statements
@@ -830,8 +856,8 @@ class MaintenanceEngine:
         delete_target_ids: Sequence[DeweyID],
         survivor_cache: Dict[str, List[Node]],
         pre_batch_cache: Dict[str, List[Node]],
-        planner: "_shard_planner.ShardPlanner",
-        executor: "_shard_executor.ShardExecutor",
+        planner: "ShardPlanner",
+        executor: "ShardExecutor",
     ) -> None:
         """The batch's view-side round: plan, execute shards, merge.
 
@@ -881,6 +907,7 @@ class MaintenanceEngine:
             return
 
         # -- plan: cut per-view work into shard units ------------------
+        backend = shard_backend()
         refresh_units: List[RefreshUnit] = []
         minus_units: List[DeleteSideUnit] = []
         plus_units: List[InsertSideUnit] = []
@@ -890,7 +917,7 @@ class MaintenanceEngine:
             pattern = ctx.registered.pattern
             if any_targets and pattern.content_nodes():
                 refresh_units.append(
-                    _shard_units.RefreshUnit(
+                    backend.RefreshUnit(
                         ctx.name,
                         planner.anchor_shard(()),
                         view=ctx.registered.view,
@@ -906,7 +933,7 @@ class MaintenanceEngine:
                     for label in minus_labels
                 )
                 minus_units.append(
-                    _shard_units.DeleteSideUnit(
+                    backend.DeleteSideUnit(
                         ctx.name,
                         planner.anchor_shard(minus_labels),
                         minus_labels,
@@ -927,7 +954,7 @@ class MaintenanceEngine:
                     for label in plus_labels
                 )
                 plus_units.append(
-                    _shard_units.InsertSideUnit(
+                    backend.InsertSideUnit(
                         ctx.name,
                         planner.anchor_shard(plus_labels),
                         plus_labels,
@@ -1025,7 +1052,7 @@ class MaintenanceEngine:
             ctx.report.phases.execute_update += time.perf_counter() - started
             if ctx.snowcap:
                 started = time.perf_counter()
-                lattice_additions = _shard_merge.resolve_snowcap_fragment(
+                lattice_additions = backend.resolve_snowcap_fragment(
                     ctx.snowcap, self.document
                 )
                 if lattice_additions:
@@ -1034,12 +1061,13 @@ class MaintenanceEngine:
 
     def _apply_round_fragments(
         self,
-        result: "_shard_executor.RoundResult",
+        result: "RoundResult",
         by_name: Dict[str, "_ViewRound"],
         serial: bool,
         report: BatchReport,
     ) -> None:
         """Merge one round's fragments into the per-view contexts."""
+        backend = shard_backend()
         for unit, fragment, seconds in zip(
             result.units, result.fragments, result.unit_seconds
         ):
@@ -1063,17 +1091,17 @@ class MaintenanceEngine:
                     # The plan emits one unit per (view, side) today, so
                     # these merges take the single-fragment fast path;
                     # the general union exists for finer future splits.
-                    ctx.removals = _shard_merge.merge_embedding_fragments([embeddings])
+                    ctx.removals = backend.merge_embedding_fragments([embeddings])
             else:
                 additions, snowcap_rows, stats = fragment
                 if additions:
-                    ctx.additions = _shard_merge.merge_addition_fragments([additions])
+                    ctx.additions = backend.merge_addition_fragments([additions])
                 ctx.snowcap = snowcap_rows
             self._absorb_unit_stats(ctx.report, stats, seconds, serial)
 
     @staticmethod
     def _absorb_unit_stats(
-        view_report: ViewReport, stats: "_shard_units.UnitStats", seconds: float, serial: bool
+        view_report: ViewReport, stats: "UnitStats", seconds: float, serial: bool
     ) -> None:
         """Fold a unit's counters (and, serially, its time) into the report.
 
@@ -1103,7 +1131,7 @@ class MaintenanceEngine:
             )
 
     @staticmethod
-    def _absorb_round(report: BatchReport, result: "_shard_executor.RoundResult", serial: bool) -> None:
+    def _absorb_round(report: BatchReport, result: "RoundResult", serial: bool) -> None:
         if not result.units:
             return
         report.shard_rounds.append(result.describe())
@@ -1343,7 +1371,7 @@ class BatchEngine:
         self,
         batch: Union[UpdateBatch, Sequence[UpdateStatement]],
         workers: Optional[int] = None,
-        shard_plan: "Union[None, int, _shard_planner.ShardPlanner]" = None,
+        shard_plan: "Union[None, int, ShardPlanner]" = None,
     ) -> BatchReport:
         """Propagate a batch: one Δ extraction, one round per view.
 

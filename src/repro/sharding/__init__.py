@@ -25,6 +25,18 @@ from repro.sharding.units import (
     UnitStats,
 )
 
+# Dependency inversion: maintenance sits below sharding in the layer
+# DAG and must not import this package, so the engine looks planners,
+# executors, units and merges up through a registered backend instead.
+# Registering this package's own namespace (which re-exports every name
+# the engine dispatches on) closes the loop; repro/__init__ imports us
+# so the seam is wired before any engine code runs.
+import sys as _sys
+
+from repro.maintenance.engine import register_shard_backend as _register_shard_backend
+
+_register_shard_backend(_sys.modules[__name__])
+
 __all__ = [
     "DeleteSideUnit",
     "InsertSideUnit",

@@ -77,7 +77,7 @@ def enumerate_subpatterns(pattern: Pattern) -> List[NodeSet]:
     for size in range(1, len(names) + 1):
         for subset in combinations(names, size):
             chosen = frozenset(subset)
-            minimal = [name for name in chosen if not (ancestors[name] & chosen)]
+            minimal = [name for name in subset if not (ancestors[name] & chosen)]
             if len(minimal) != 1:
                 continue
             out.append(chosen)
@@ -109,7 +109,7 @@ def join_decompositions(pattern: Pattern, subset: NodeSet) -> List[Tuple[NodeSet
             upper = subset - lower
             if lower not in valid or upper not in valid:
                 continue
-            lower_roots = [name for name in lower if not (ancestors[name] & lower)]
+            lower_roots = [name for name in lower_tuple if not (ancestors[name] & lower)]
             root = lower_roots[0]
             if ancestors[root] & upper:
                 out.append((upper, lower))

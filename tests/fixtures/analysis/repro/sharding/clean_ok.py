@@ -1,0 +1,29 @@
+"""Fixture: idiomatic engine code that must produce zero findings."""
+
+import zlib
+from typing import Dict, List
+
+from repro.updates.pul import PendingUpdateList  # downward import
+
+
+def shard_of(label: str, shard_count: int) -> int:
+    return zlib.crc32(label.encode("utf-8")) % shard_count
+
+
+def ordered_labels(labels) -> List[str]:
+    return sorted(set(labels))
+
+
+def dedup_keep_order(labels) -> List[str]:
+    # The insertion-ordered-dict set idiom the det rules point at.
+    seen: Dict[str, None] = {}
+    for label in labels:
+        seen[label] = None
+    return list(seen)
+
+
+def touches(labels, wanted) -> bool:
+    touched = set(labels)
+    return any(label in touched for label in wanted) or bool(
+        PendingUpdateList()
+    )

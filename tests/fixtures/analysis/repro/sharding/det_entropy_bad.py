@@ -1,0 +1,27 @@
+"""Fixture: entropy and wall-clock reads (det-random / det-wallclock).
+
+det-random must fire three times (the from-import, the module-level
+call, the unseeded constructor); det-wallclock twice.
+"""
+
+import random
+import time
+from random import choice  # det-random: from-import of module state
+
+
+def jitter(values):
+    noise = random.random()  # det-random: unseeded module-level call
+    unseeded = random.Random()  # det-random: no seed
+    seeded = random.Random(42)  # allowed: explicit seed
+    return noise, unseeded.random(), seeded.choice(values), choice(values)
+
+
+def stamp():
+    started = time.time()  # det-wallclock
+    time.sleep(0)
+    return time.time() - started  # det-wallclock
+
+
+def duration_ok():
+    started = time.perf_counter()  # allowed: monotonic duration clock
+    return time.perf_counter() - started

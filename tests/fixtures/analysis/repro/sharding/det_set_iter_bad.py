@@ -1,0 +1,24 @@
+"""Fixture: ordered sinks fed from set iteration (must trip det-set-iter).
+
+Exactly four findings: the for-loop, list(), .join() and the list
+comprehension.  The ``fine`` function exercises the allowances.
+"""
+
+
+def collect(labels):
+    touched = set(labels)
+    ordered = []
+    for label in touched:  # finding 1: for-loop over a set
+        ordered.append(label)
+    listed = list(touched)  # finding 2: list() over a set
+    joined = ",".join(touched)  # finding 3: .join() over a set
+    comp = [label.upper() for label in touched]  # finding 4: list comp
+    return ordered, listed, joined, comp
+
+
+def fine(labels):
+    touched = set(labels)
+    if "site" in touched:  # membership is order-free
+        return sorted(touched)  # sorted() is the sanctioned consumer
+    biggest = max(len(label) for label in touched)  # neutral genexp
+    return len(touched) + biggest

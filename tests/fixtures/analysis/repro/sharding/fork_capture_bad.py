@@ -1,0 +1,14 @@
+"""Fixture: fork-hostile resources on instances (fork-unsafe-capture).
+
+Three findings: the lock, the open file handle and the generator.
+"""
+
+import threading
+
+
+class ShardFeeder:
+    def __init__(self, paths):
+        self._lock = threading.Lock()  # finding: lock crosses fork
+        self._log = open("feeder.log", "w")  # finding: shared fd
+        self._stream = (path for path in paths)  # finding: generator
+        self._paths = list(paths)  # fine: plain data

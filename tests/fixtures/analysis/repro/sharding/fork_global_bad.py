@@ -1,0 +1,35 @@
+"""Fixture: worker-side writes to module globals (fork-worker-global-write).
+
+Three findings in ``_worker`` (the ``global`` declaration, the dict
+append-style mutation, the subscript write); ``publish`` is the
+sanctioned parent-side pattern and must stay clean.
+"""
+
+from multiprocessing import Process
+
+_ROUND_STATE = {"round": None}
+_SEEN = []
+
+
+def _worker(index):
+    global _ROUND_STATE  # finding: global declared in a worker
+    _SEEN.append(index)  # finding: mutating a module-level list
+    _ROUND_STATE["round"] = index  # finding: subscript write
+    return index
+
+
+def _reader(index):
+    # Reading fork-published state is the contract; no findings here.
+    return _ROUND_STATE["round"], len(_SEEN), index
+
+
+def publish(round_state):
+    # Parent-side mutation before forking is fine: not a worker body.
+    _ROUND_STATE["round"] = round_state
+
+
+def launch():
+    return [
+        Process(target=_worker, args=(0,)),
+        Process(target=_reader, args=(1,)),
+    ]

@@ -1,0 +1,26 @@
+"""Fixture: fragment fields off the allowlist (fragment-unpicklable-field).
+
+Three findings: the Node-typed class annotation, the view-typed
+__init__ annotation and the unverifiable call-valued field.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+
+class FakeNode:
+    pass
+
+
+def make_view():
+    return object()
+
+
+class EmbeddingFragment:
+    anchor: FakeNode  # finding: raw node reference in a fragment
+
+    def __init__(self, rows, view_ref):
+        self.rows: List[Tuple[str, ...]] = list(rows)  # fine
+        self.view: Optional[FakeNode] = view_ref  # finding: FakeNode
+        self.extent = make_view()  # finding: unverifiable value
+        self.sizes: Dict[str, int] = {}  # fine
+        self.label = "anchor"  # fine: literal

@@ -1,0 +1,31 @@
+"""Fixture: work units writing through self (unit-impure-write).
+
+Three findings in ``LeakyUnit.execute``: the attribute assignment, the
+mutating method call and the subscript write.  ``PureUnit`` shows the
+contract (build locally, return the fragment).
+"""
+
+
+class ShardWorkUnit:  # stand-in mirroring repro.sharding.units
+    pass
+
+
+class LeakyUnit(ShardWorkUnit):
+    def __init__(self, engine, registered):
+        self.engine = engine
+        self.registered = registered
+
+    def execute(self):
+        self.engine.applied = True  # finding: assign through self
+        self.registered.rows.clear()  # finding: mutating captured state
+        self.engine.cache["last"] = self  # finding: subscript write
+        return ()
+
+
+class PureUnit(ShardWorkUnit):
+    def __init__(self, rows):
+        self.rows = tuple(rows)
+
+    def execute(self):
+        fragment = [row for row in self.rows if row is not None]
+        return tuple(fragment)
