@@ -8,12 +8,23 @@ and checks the batch pipeline invariant: a mixed statement stream
 propagated as one ``UpdateBatch`` must leave extents byte-identical to
 sequential per-statement application.
 
+Also drives a mixed-churn stream (σ-value rewrites and round-trips,
+:func:`repro.workloads.churn.churn_batches`) through the repair engine
+and records the *fallback rate* -- fallback-bearing batches over
+flip-bearing batches.  The σ-flip repair keeps it at 0.0; the gate
+fails above ``FALLBACK_RATE_CEILING``.
+
 Appends one run entry -- keyed by git SHA + timestamp -- to the
 trajectory list in ``benchmarks/out/BENCH_hotpath.json`` (CI trend
 tracking: the file accumulates across runs instead of being
-overwritten), and exits non-zero if the maintenance-vs-recompute
-speedup falls below ``SPEEDUP_FLOOR`` or the batch equivalence check
-fails.
+overwritten).  Run entries are schema-checked against ``RUN_KEYS``
+before writing, so stale metrics can never silently accrete in the
+trajectory; unknown keys in *historical* entries are dropped on
+migration.  Exits non-zero if the maintenance-vs-recompute speedup
+falls below ``SPEEDUP_FLOOR``, the fallback rate exceeds its ceiling,
+or the batch equivalence check fails.  When ``GITHUB_STEP_SUMMARY`` is
+set (GitHub Actions), the gate metrics are appended there as a
+markdown table.
 
 The seed measured ~5x on this configuration; the floor is set well
 below that so timing noise never trips the gate, while a genuine
@@ -46,10 +57,30 @@ SCALE = 3
 REPEATS = 3
 SPEEDUP_FLOOR = 2.0
 BATCH_STREAM_LENGTH = 16
+CHURN_BATCHES = 8
+FALLBACK_RATE_CEILING = 0.05
 OUT_PATH = os.path.join(os.path.dirname(__file__), "out", "BENCH_hotpath.json")
 
 #: view -> the Appendix-A statement its single-target updates derive from.
 CELLS = (("Q1", "X1_L"), ("Q3", "X2_L"))
+
+#: the full schema of one trajectory run entry; _append_run rejects
+#: anything else so retired metrics cannot silently accrete.
+RUN_KEYS = frozenset(
+    {
+        "git_sha",
+        "timestamp",
+        "config",
+        "trajectory",
+        "propagation_s",
+        "recompute_s",
+        "speedup",
+        "floor",
+        "batch_equivalence",
+        "fallback_rate",
+        "passed",
+    }
+)
 
 
 def _measure_cell(view_name: str, base_update: str, kind: str) -> dict:
@@ -139,6 +170,79 @@ def _check_batch_equivalence() -> dict:
     }
 
 
+def _measure_fallback_rate() -> dict:
+    """Fallback rate of the repair engine on a mixed-churn stream.
+
+    A batch is *flip-bearing* when it σ-flipped some view candidate
+    (``report.repairs`` non-empty, or a ``predicate_flip`` fallback
+    fired); the rate is fallback-bearing over flip-bearing batches.
+    The historical recompute fallback scored ~1.0 here by construction;
+    the σ-flip repair keeps it at 0.0.
+    """
+    from repro.workloads.churn import churn_batches
+
+    views = ("Q1", "Q3")
+    batches = churn_batches(
+        generate_document(scale=SCALE), CHURN_BATCHES, seed=17
+    )
+    document = generate_document(scale=SCALE)
+    engine = BatchEngine(document)
+    registered = {
+        name: engine.register_view(view_pattern(name), name) for name in views
+    }
+    flip_bearing = 0
+    fallback_bearing = 0
+    for batch in batches:
+        report = engine.apply(list(batch))
+        flipped = bool(report.repairs) or any(
+            entry.get("reason") == "predicate_flip"
+            for entry in report.fallbacks.values()
+        )
+        if flipped:
+            flip_bearing += 1
+            if report.fallbacks:
+                fallback_bearing += 1
+    for name in views:
+        if not registered[name].view.equals_fresh_evaluation(document):
+            raise AssertionError("churn-maintained view %s diverged" % name)
+    rate = (fallback_bearing / flip_bearing) if flip_bearing else 0.0
+    return {
+        "churn_batches": CHURN_BATCHES,
+        "flip_bearing_batches": flip_bearing,
+        "fallback_bearing_batches": fallback_bearing,
+        "rate": round(rate, 3),
+        "ceiling": FALLBACK_RATE_CEILING,
+    }
+
+
+def _write_step_summary(run: dict) -> None:
+    """Append the gate metrics to the GitHub Actions job summary."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    fallback = run["fallback_rate"]
+    lines = [
+        "### Benchmark smoke gate",
+        "",
+        "| metric | value | gate |",
+        "| --- | --- | --- |",
+        "| maintenance vs recompute speedup | %.2fx | >= %.1fx |"
+        % (run["speedup"], run["floor"]),
+        "| fallback rate (flip-bearing churn batches) | %.3f | <= %.2f |"
+        % (fallback["rate"], fallback["ceiling"]),
+        "| batch vs sequential extents | %s | identical |"
+        % (
+            "identical"
+            if run["batch_equivalence"]["extents_identical"]
+            else "DIVERGED"
+        ),
+        "| result | %s | |" % ("PASS" if run["passed"] else "FAIL"),
+        "",
+    ]
+    with open(path, "a") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
 def _append_run(run: dict) -> None:
     """Record one run entry in the trajectory file.
 
@@ -146,8 +250,16 @@ def _append_run(run: dict) -> None:
     first entry of the ``runs`` list.  One entry per commit: re-running
     at the same git SHA replaces the earlier entry for that SHA instead
     of appending a duplicate (unknown SHAs always append, so local
-    tarball runs still accumulate).
+    tarball runs still accumulate).  The new entry must match
+    ``RUN_KEYS`` exactly; unknown keys in historical entries (metrics
+    since retired) are dropped rather than carried forward.
     """
+    unknown = set(run) - RUN_KEYS
+    if unknown:
+        raise ValueError(
+            "run entry carries unknown keys %s; update RUN_KEYS if the "
+            "schema really grew" % sorted(unknown)
+        )
     history: dict = {"runs": []}
     if os.path.exists(OUT_PATH):
         try:
@@ -161,6 +273,10 @@ def _append_run(run: dict) -> None:
             elif existing:
                 existing.setdefault("git_sha", "pre-trajectory")
                 history["runs"] = [existing]
+    history["runs"] = [
+        {key: value for key, value in entry.items() if key in RUN_KEYS}
+        for entry in history["runs"]
+    ]
     sha = run.get("git_sha")
     if sha and sha != "unknown":
         history["runs"] = [
@@ -194,7 +310,12 @@ def main() -> int:
             )
     speedup = total_recompute / total_propagation
     batch_check = _check_batch_equivalence()
-    passed = speedup >= SPEEDUP_FLOOR and batch_check["extents_identical"]
+    fallback = _measure_fallback_rate()
+    passed = (
+        speedup >= SPEEDUP_FLOOR
+        and batch_check["extents_identical"]
+        and fallback["rate"] <= FALLBACK_RATE_CEILING
+    )
     run = {
         "git_sha": _git_sha(),
         "timestamp": datetime.datetime.now().isoformat(timespec="seconds"),
@@ -205,15 +326,21 @@ def main() -> int:
         "speedup": round(speedup, 3),
         "floor": SPEEDUP_FLOOR,
         "batch_equivalence": batch_check,
+        "fallback_rate": fallback,
         "passed": passed,
     }
     _append_run(run)
+    _write_step_summary(run)
     print(
         "batch-vs-sequential extents on %d mixed statements -> %s"
         % (
             batch_check["statements"],
             "IDENTICAL" if batch_check["extents_identical"] else "DIVERGED",
         )
+    )
+    print(
+        "fallback rate %.3f over %d flip-bearing churn batches (ceiling %.2f)"
+        % (fallback["rate"], fallback["flip_bearing_batches"], fallback["ceiling"])
     )
     print(
         "maintenance-vs-recompute speedup %.2fx (floor %.1fx) -> %s  [%s]"

@@ -107,6 +107,22 @@ def delta_from_candidates(
     return DeltaTables(pattern, _extract_for_pattern(pattern, candidates), sign)
 
 
+def flip_delta(
+    pattern: Pattern, name: str, nodes: Sequence[Node], sign: str
+) -> DeltaTables:
+    """Single-name Δ table for a σ-flip repair term.
+
+    A flip's effect is bounded by the flipped candidates of one σ
+    pattern node (they joined -- or now join -- the node's filtered
+    relation without the document gaining or losing nodes), so the
+    repair Δ± reads Δ at exactly that one name and the canonical
+    relations everywhere else.  Candidates are sorted into document
+    order so repair fragments are deterministic across workers.
+    """
+    ordered = sorted(nodes, key=BatchCandidates._order)
+    return DeltaTables(pattern, {name: ordered}, sign)
+
+
 def insert_candidates(inserted_roots: Sequence[Node]) -> BatchCandidates:
     """Candidate set of freshly inserted subtrees (document order)."""
     nodes: List[Node] = []

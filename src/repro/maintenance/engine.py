@@ -18,10 +18,20 @@ Section 6:
 Exactness note (beyond the paper): an update can flip the σ value
 predicate of an *existing* node (e.g. inserting text under a node whose
 ``val`` a view filters on).  The 2^k − 1 terms cannot express this --
-their all-R term is the unchanged view.  The engine detects the
-situation from ID-based ancestry plus a val snapshot and falls back to
-recomputing the affected view, flagging ``predicate_fallback`` in the
-report; none of the paper's workloads trigger it.
+their all-R term is the unchanged view.  The engine detects flipped
+candidates from ID-based ancestry plus merged first-seen val snapshots
+and *repairs* the view with the bounded Δ± of
+:mod:`repro.maintenance.repair`: evictions ride the ET-DEL machinery,
+admissions the Δ+ store pass, and the snowcap lattice gets a
+column-aware flip pass -- all in the same batch round, byte-identical
+to recomputation.  Similarly, a net-removed node whose val/cont
+drifted before its removal (*dirty subtree*) is restored from the
+first-seen snapshots instead of invalidating the whole view.  Only
+genuinely unrepairable cases -- drift with hot-path caches disabled,
+or ``sigma_repair=False`` forcing the historical behaviour -- fall
+back to recomputing the affected view, and those recomputations run as
+shard work units when a parallel executor is available
+(``BatchReport.fallbacks`` records structured reasons).
 """
 
 from __future__ import annotations
@@ -48,6 +58,10 @@ from repro.maintenance.insert import (
     snowcap_additions,
     surviving_insert_terms,
 )
+from repro.maintenance.repair import (
+    flip_lattice_repair,
+    match_flips_to_pattern,
+)
 from repro.pattern.evaluate import Sources, filter_by_predicate
 from repro.pattern.tree_pattern import Pattern
 from repro.pattern.xquery import ViewDefinition
@@ -61,7 +75,7 @@ from repro.updates.pul import BatchApplication, apply_pul, compute_pul
 from repro.views.lattice import SnowcapLattice
 from repro.views.view import MaterializedView
 from repro.xmldom.dewey import DeweyID
-from repro.xmldom.model import Document, Node
+from repro.xmldom.model import Document, Node, hot_path_caches_enabled
 
 PHASES = (
     "find_target_nodes",
@@ -104,6 +118,11 @@ def shard_backend():
             "sharding layer can register itself"
         )
     return _SHARD_BACKEND
+
+
+#: sentinel distinguishing "no snapshot captured" (the value provably
+#: never changed) from a captured snapshot whose value may be None.
+_MISSING = object()
 
 
 class PhaseTimes:
@@ -213,8 +232,17 @@ class BatchReport:
         self.net_removed = 0
         #: nodes inserted and deleted within the batch (net no-ops).
         self.cancelled = 0
-        #: view name -> reason the per-view recompute fallback fired.
-        self.fallbacks: Dict[str, str] = {}
+        #: view name -> ``{"reason": str, "candidates": int}`` for each
+        #: view whose recompute fallback fired (the candidate count is
+        #: the unrepairable dirty nodes resp. suppressed σ flips).
+        self.fallbacks: Dict[str, Dict] = {}
+        #: view name -> σ-flip repair counters (``sigma_flips``,
+        #: ``evicted``/``admitted`` extent rows, ``lattice_dropped``/
+        #: ``lattice_added``) for views repaired in place of a fallback.
+        self.repairs: Dict[str, Dict] = {}
+        #: net-removed dirty nodes whose pre-batch val/cont snapshots
+        #: were restored onto the detached subtree (no fallback needed).
+        self.dirty_restored = 0
         #: worker count the propagation round actually fanned out to
         #: (0 = serial execution of the shard plan).
         self.workers = 0
@@ -287,10 +315,16 @@ class _ViewRound:
         "report",
         "has_minus_unit",
         "has_plus_unit",
+        "has_repair_unit",
         "minus_live",
         "removals",
         "additions",
         "snowcap",
+        "flips",
+        "minus_sets",
+        "plus_sets",
+        "embedding_fragments",
+        "addition_fragments",
     )
 
     def __init__(self, name: str, registered: "RegisteredView", report: ViewReport):
@@ -299,10 +333,21 @@ class _ViewRound:
         self.report = report
         self.has_minus_unit = False
         self.has_plus_unit = False
+        self.has_repair_unit = False
         self.minus_live = False
         self.removals: Dict[tuple, int] = {}
         self.additions: Dict[tuple, int] = {}
         self.snowcap: Optional[dict] = None
+        #: ``(node ID, constant) -> (node, satisfied now)`` σ flips of
+        #: this batch, and their bucketing under the view's σ nodes.
+        self.flips: Dict[Tuple[DeweyID, str], Tuple[Node, bool]] = {}
+        self.minus_sets: Dict[str, List[Node]] = {}
+        self.plus_sets: Dict[str, List[Node]] = {}
+        #: doomed-embedding maps (Δ− units + repair evictions) unioned
+        #: once into ``removals``; counted row dicts (Δ+ units + repair
+        #: admissions) summed once into ``additions``.
+        self.embedding_fragments: List[Dict[tuple, tuple]] = []
+        self.addition_fragments: List[Dict[tuple, int]] = []
 
 
 def _watch_entries(
@@ -341,11 +386,18 @@ class MaintenanceEngine:
         use_id_pruning: bool = True,
         workers: int = 0,
         shard_plan: "Union[None, int, ShardPlanner]" = None,
+        sigma_repair: bool = True,
     ):
         self.document = document
         self.prune_even_terms = prune_even_terms
         self.use_data_pruning = use_data_pruning
         self.use_id_pruning = use_id_pruning
+        #: incremental repair of σ-predicate flips (bounded Δ± terms)
+        #: and dirty removed subtrees (snapshot restoration) in
+        #: ``apply_batch``.  ``False`` restores the historical
+        #: whole-view recompute fallback for both situations -- kept as
+        #: a baseline for the repair benchmarks and regression tests.
+        self.sigma_repair = sigma_repair
         #: default worker count for ``apply_batch`` (0 = in-process).
         self.workers = workers
         #: default shard planner (or shard count) for ``apply_batch``.
@@ -499,6 +551,25 @@ class MaintenanceEngine:
             return self._apply_delete(statement)
         raise TypeError("unknown statement %r" % (statement,))
 
+    def _predicate_guard(
+        self,
+        registered: RegisteredView,
+        view_report: ViewReport,
+        watchlist: List[Tuple[DeweyID, str, bool]],
+    ) -> bool:
+        """Single recompute guard of the per-statement paths.
+
+        The per-statement pipeline (the paper's comparison baseline)
+        keeps the whole-view recompute on a σ flip; the batch pipeline
+        repairs instead.  Returns True when the fallback fired, so the
+        caller skips term propagation for this view.
+        """
+        if not self._watch_changed(watchlist):
+            return False
+        self._recompute(registered)
+        view_report.predicate_fallback = True
+        return True
+
     # .. insertions ............................................................
 
     def _apply_insert(self, statement: InsertUpdate) -> PropagationReport:
@@ -529,9 +600,7 @@ class MaintenanceEngine:
             view_report.phases.find_target_nodes = find_targets_seconds
             pattern = registered.pattern
 
-            if self._watch_changed(watchlists[name]):
-                self._recompute(registered)
-                view_report.predicate_fallback = True
+            if self._predicate_guard(registered, view_report, watchlists[name]):
                 report.view_reports[name] = view_report
                 continue
 
@@ -644,9 +713,7 @@ class MaintenanceEngine:
 
         for name, registered in self.views.items():
             view_report = report.view_reports[name]
-            if self._watch_changed(watchlists[name]):
-                self._recompute(registered)
-                view_report.predicate_fallback = True
+            if self._predicate_guard(registered, view_report, watchlists[name]):
                 continue
             started = time.perf_counter()
             view_report.tuples_modified = pdmt(registered.view, self.document, target_ids)
@@ -751,11 +818,39 @@ class MaintenanceEngine:
         }
         any_sigma = any(sigma_by_view.values())
 
+        # Labels whose val/cont any view reads through value semantics
+        # (σ filters and projection read val, stored cont reads cont);
+        # a net-removed node of another label cannot drift observably.
+        val_sensitive: set = set()
+        cont_sensitive: set = set()
+        for registered in self.views.values():
+            for node in registered.pattern.nodes():
+                if node.value_pred is not None or node.store_val:
+                    val_sensitive.add(node.label)
+                if node.store_cont:
+                    cont_sensitive.add(node.label)
+        # First-seen pre-batch snapshots powering dirty-subtree repair.
+        # Only delete-bearing batches can net-remove a node, so
+        # insert-only batches never pay the capture (or repair) cost.
+        has_deletes = any(isinstance(s, DeleteUpdate) for s in statements)
+        capture = bool(
+            self.sigma_repair and has_deletes and (val_sensitive or cont_sensitive)
+        )
+        val_snapshots: Dict[DeweyID, Optional[str]] = {}
+        cont_snapshots: Dict[DeweyID, Optional[str]] = {}
+
+        def _captures_label(sensitive: set, node: Node) -> bool:
+            return node.label in sensitive or (
+                "*" in sensitive and node.kind == "element"
+            )
+
         def before_apply(index: int, statement: UpdateStatement, pul) -> None:
-            if not any_sigma or not pul.operations:
+            if not pul.operations or not (any_sigma or capture):
                 return
             # Self-and-ancestor chain of every target, via live parent
-            # pointers (the update can only flip σ values along it).
+            # pointers (the update can only flip σ values along it --
+            # and only along it can a later-removed node's val/cont
+            # drift, so the same chain feeds the dirty snapshots).
             chain: List[Node] = []
             seen: set = set()
             for op in pul.operations:
@@ -775,6 +870,15 @@ class MaintenanceEngine:
                     sigma_nodes, chain
                 ):
                     merged.setdefault((node_id, constant), satisfied)
+            if not capture:
+                return
+            for node in chain:
+                if _captures_label(val_sensitive, node):
+                    if node.id not in val_snapshots:
+                        val_snapshots[node.id] = node.val
+                if _captures_label(cont_sensitive, node):
+                    if node.id not in cont_snapshots:
+                        cont_snapshots[node.id] = node.cont
 
         application = BatchApplication(self.document, statements)
         try:
@@ -802,6 +906,17 @@ class MaintenanceEngine:
         report.net_removed = len(removed_ids)
         report.cancelled = application.cancelled_count()
         dirty_nodes = application.dirty_removed_nodes() if removed_ids else []
+        if dirty_nodes and self.sigma_repair:
+            # Restore the detached subtrees' pre-batch val/cont from the
+            # first-seen snapshots; only genuinely unrestorable drift
+            # (caches disabled) is left to trigger a per-view fallback.
+            dirty_nodes, report.dirty_restored = self._restore_dirty_snapshots(
+                dirty_nodes,
+                val_snapshots,
+                cont_snapshots,
+                val_sensitive,
+                cont_sensitive,
+            )
         insert_target_ids = application.insert_target_ids
         delete_target_ids = application.delete_target_ids
         report.net_effects_seconds = time.perf_counter() - started
@@ -882,6 +997,7 @@ class MaintenanceEngine:
         report.workers = executor.workers if executor.parallel else 0
 
         contexts: List[_ViewRound] = []
+        fallback_views: List[RegisteredView] = []
         for name, registered in self.views.items():
             view_report = ViewReport(name)
             view_report.targets = len(insert_target_ids) + len(delete_target_ids)
@@ -889,20 +1005,42 @@ class MaintenanceEngine:
             report.view_reports[name] = view_report
             pattern = registered.pattern
 
+            flips = (
+                self._batch_flips(watch[name], inserted_ids) if watch[name] else {}
+            )
             reason = None
-            if dirty_nodes and self._dirty_affects(pattern, dirty_nodes):
-                reason = "dirty_removed_subtree"
-            elif self._batch_watch_changed(watch[name], inserted_ids):
+            candidates = 0
+            if dirty_nodes:
+                candidates = self._dirty_affects(pattern, dirty_nodes)
+                if candidates:
+                    reason = "dirty_removed_subtree"
+            if reason is None and flips and not self.sigma_repair:
                 reason = "predicate_flip"
+                candidates = len(flips)
             if reason is not None:
-                self._recompute(registered)
                 view_report.predicate_fallback = True
-                report.fallbacks[name] = reason
+                report.fallbacks[name] = {
+                    "reason": reason,
+                    "candidates": candidates,
+                }
+                fallback_views.append(registered)
                 continue
             view_report.delta_sizes = {
                 node_name: 0 for node_name in pattern.node_names()
             }
-            contexts.append(_ViewRound(name, registered, view_report))
+            ctx = _ViewRound(name, registered, view_report)
+            if flips:
+                minus_sets, plus_sets = match_flips_to_pattern(pattern, flips)
+                if minus_sets or plus_sets:
+                    ctx.flips = flips
+                    ctx.minus_sets = minus_sets
+                    ctx.plus_sets = plus_sets
+                    report.repairs[name] = {"sigma_flips": len(flips)}
+            contexts.append(ctx)
+        if fallback_views:
+            self._recompute_views(
+                fallback_views, planner=planner, executor=executor, report=report
+            )
         if not contexts:
             return
 
@@ -911,6 +1049,7 @@ class MaintenanceEngine:
         refresh_units: List[RefreshUnit] = []
         minus_units: List[DeleteSideUnit] = []
         plus_units: List[InsertSideUnit] = []
+        repair_units: List["SigmaRepairUnit"] = []
         by_name = {ctx.name: ctx for ctx in contexts}
         any_targets = bool(insert_target_ids or delete_target_ids)
         for ctx in contexts:
@@ -944,6 +1083,7 @@ class MaintenanceEngine:
                         inserted_ids=inserted_ids,
                         inserted_labels=inserted_labels,
                         source_cache=pre_batch_cache,
+                        flips=set(ctx.flips) if ctx.flips else None,
                     )
                 )
                 ctx.has_minus_unit = True
@@ -969,6 +1109,30 @@ class MaintenanceEngine:
                     )
                 )
                 ctx.has_plus_unit = True
+            if ctx.minus_sets or ctx.plus_sets:
+                flip_nodes = [
+                    node
+                    for sets in (ctx.minus_sets, ctx.plus_sets)
+                    for nodes in sets.values()
+                    for node in nodes
+                ]
+                flip_labels = sorted({node.label for node in flip_nodes})
+                repair_units.append(
+                    backend.SigmaRepairUnit(
+                        ctx.name,
+                        planner.anchor_shard(flip_labels),
+                        flip_labels,
+                        len(flip_nodes),
+                        engine=self,
+                        registered=ctx.registered,
+                        minus_sets=ctx.minus_sets,
+                        plus_sets=ctx.plus_sets,
+                        inserted_ids=inserted_ids,
+                        inserted_labels=inserted_labels,
+                        source_cache=survivor_cache,
+                    )
+                )
+                ctx.has_repair_unit = True
         if executor.parallel:
             self._prewarm_value_index(contexts)
             # Fill the shared per-label source rows in the parent so
@@ -987,15 +1151,16 @@ class MaintenanceEngine:
                             inserted_labels,
                             removed_candidates,
                             pre_batch_cache,
+                            flips=set(ctx.flips) if ctx.flips else None,
                         )
                         ctx.report.phases.execute_update += (
                             time.perf_counter() - started
                         )
                         started = time.perf_counter()
-            if plus_units:
+            if plus_units or repair_units:
                 started = time.perf_counter()
                 for ctx in contexts:
-                    if ctx.has_plus_unit:
+                    if ctx.has_plus_unit or ctx.has_repair_unit:
                         self._sources_excluding(
                             ctx.registered.pattern,
                             inserted_ids,
@@ -1021,9 +1186,45 @@ class MaintenanceEngine:
                     ctx.report.phases.update_lattice += (
                         time.perf_counter() - started
                     )
-            round2_units = planner.order_units(plus_units)
+            round2_units = planner.order_units(plus_units + repair_units)
         else:
-            round2_units = planner.order_units(refresh_units + plus_units)
+            round2_units = planner.order_units(
+                refresh_units + plus_units + repair_units
+            )
+        # σ-flip lattice upkeep sits between the rounds: the Δ− units
+        # must read the *pre-batch* lattice (their R-part seeds), while
+        # the Δ+ units' ET-INS and snowcap recurrences seed from the
+        # current-survivor lattice -- which only the column-aware flip
+        # pass (drop flipped-false rows, append flipped-true ones)
+        # makes exact.  In the single-round case there is no Δ− reader,
+        # so the repair simply precedes the round.
+        for ctx in contexts:
+            if not (ctx.minus_sets or ctx.plus_sets):
+                continue
+            lattice = ctx.registered.lattice
+            if not lattice.materialized_sets():
+                continue
+            started = time.perf_counter()
+            r_sources = self._sources_excluding(
+                ctx.registered.pattern,
+                inserted_ids,
+                cache=survivor_cache,
+                excluded_labels=inserted_labels,
+            )
+            drops, flip_additions = flip_lattice_repair(
+                ctx.registered.pattern,
+                lattice,
+                ctx.minus_sets,
+                ctx.plus_sets,
+                r_sources,
+            )
+            dropped = lattice.apply_flip_repair(drops, flip_additions)
+            entry = report.repairs.setdefault(ctx.name, {})
+            entry["lattice_dropped"] = dropped
+            entry["lattice_added"] = sum(
+                len(relation.rows) for relation in flip_additions.values()
+            )
+            ctx.report.phases.update_lattice += time.perf_counter() - started
         # Snowcap rows are shipped as ID tuples only when the round will
         # really cross a process boundary; single-unit rounds run inline
         # (and thread rounds share memory), where the conversion plus
@@ -1038,6 +1239,14 @@ class MaintenanceEngine:
 
         # -- merge + apply: one store pass and one lattice extend ------
         for ctx in contexts:
+            if ctx.embedding_fragments:
+                ctx.removals = backend.merge_embedding_fragments(
+                    ctx.embedding_fragments
+                )
+            if ctx.addition_fragments:
+                ctx.additions = backend.merge_addition_fragments(
+                    ctx.addition_fragments
+                )
             if report.view_deltas is not None:
                 deltas = report.view_deltas.setdefault(ctx.name, {})
                 deltas["additions"] = ctx.additions
@@ -1088,14 +1297,25 @@ class MaintenanceEngine:
                 embeddings, stats = fragment
                 ctx.minus_live = stats.live
                 if embeddings:
-                    # The plan emits one unit per (view, side) today, so
-                    # these merges take the single-fragment fast path;
-                    # the general union exists for finer future splits.
-                    ctx.removals = backend.merge_embedding_fragments([embeddings])
+                    ctx.embedding_fragments.append(embeddings)
+            elif unit.kind == "repair":
+                evictions, admissions, stats = fragment
+                if evictions:
+                    # Disjoint from the Δ− embeddings by construction
+                    # (evict sources hold only survivors), so the final
+                    # union never collapses a genuine removal.
+                    ctx.embedding_fragments.append(evictions)
+                if admissions:
+                    ctx.addition_fragments.append(admissions)
+                entry = report.repairs.setdefault(ctx.name, {})
+                entry["evicted"] = entry.get("evicted", 0) + len(evictions)
+                entry["admitted"] = entry.get("admitted", 0) + sum(
+                    admissions.values()
+                )
             else:
                 additions, snowcap_rows, stats = fragment
                 if additions:
-                    ctx.additions = backend.merge_addition_fragments([additions])
+                    ctx.addition_fragments.append(additions)
                 ctx.snowcap = snowcap_rows
             self._absorb_unit_stats(ctx.report, stats, seconds, serial)
 
@@ -1157,15 +1377,18 @@ class MaintenanceEngine:
                 seen.add(key)
                 self.document.nodes_with_value(node.label, node.value_pred)
 
-    def _dirty_affects(self, pattern: Pattern, dirty_nodes: Sequence[Node]) -> bool:
-        """Can a drifted removed node's stale val/cont reach this view?
+    def _dirty_affects(self, pattern: Pattern, dirty_nodes: Sequence[Node]) -> int:
+        """How many drifted removed nodes reach this view's values?
 
         Drift matters only through value semantics: a σ-constant filter
         on the node's label (Δ− filtering and R_old reconstruction read
         the detached value) or a stored ``val``/``cont`` attribute (the
         removal tuple's projection must match what the extent holds).
         Views that bind the label by ID alone are exact regardless --
-        structural joins never read values.
+        structural joins never read values.  With snapshot repair
+        active the caller passes only the *unrestorable* drifted nodes,
+        so the returned count is per-candidate: it sizes the structured
+        fallback entry and is zero exactly when no fallback is needed.
         """
         sensitive = [
             node
@@ -1173,37 +1396,98 @@ class MaintenanceEngine:
             if node.value_pred is not None or node.store_val or node.store_cont
         ]
         if not sensitive:
-            return False
+            return 0
+        count = 0
         for dirty in dirty_nodes:
             for node in sensitive:
                 if node.label == "*":
                     if dirty.kind == "element":
-                        return True
+                        count += 1
+                        break
                 elif node.matches_label(dirty.label):
-                    return True
-        return False
+                    count += 1
+                    break
+        return count
 
-    def _batch_watch_changed(
+    def _restore_dirty_snapshots(
+        self,
+        dirty_nodes: Sequence[Node],
+        val_snapshots: Dict[DeweyID, Optional[str]],
+        cont_snapshots: Dict[DeweyID, Optional[str]],
+        val_sensitive: set,
+        cont_sensitive: set,
+    ) -> Tuple[List[Node], int]:
+        """Restore pre-batch val/cont onto drifted detached subtrees.
+
+        Every val/cont change puts the node on a ``before_apply``
+        chain, so a sensitive-labeled dirty node with *no* snapshot
+        provably never drifted -- it is clean.  A node whose snapshot
+        equals its current (detached) value is clean too.  Genuine
+        drift is repaired by installing the snapshot into the hot-path
+        memo caches, which every downstream reader (Δ− σ-filtering,
+        R_old reconstruction, removal projection) consults; with the
+        caches disabled there is nowhere to park the snapshot, and the
+        node stays on the unrepaired list for the per-view fallback
+        guard.  Returns ``(unrepaired nodes, snapshots restored)``.
+        """
+        caches_on = hot_path_caches_enabled()
+        unrepaired: List[Node] = []
+        restored = 0
+        for node in dirty_nodes:
+            is_element = node.kind == "element"
+            broken = False
+            repaired = False
+            if node.label in val_sensitive or (
+                "*" in val_sensitive and is_element
+            ):
+                snapshot = val_snapshots.get(node.id, _MISSING)
+                if snapshot is not _MISSING and snapshot != node.val:
+                    if caches_on and is_element:
+                        node._val_cache = snapshot
+                        repaired = True
+                    else:
+                        broken = True
+            if not broken and (
+                node.label in cont_sensitive
+                or ("*" in cont_sensitive and is_element)
+            ):
+                snapshot = cont_snapshots.get(node.id, _MISSING)
+                if snapshot is not _MISSING and snapshot != node.cont:
+                    if caches_on and is_element:
+                        node._cont_cache = snapshot
+                        repaired = True
+                    else:
+                        broken = True
+            if broken:
+                unrepaired.append(node)
+            elif repaired:
+                restored += 1
+        return unrepaired, restored
+
+    def _batch_flips(
         self,
         watch: Dict[Tuple[DeweyID, str], bool],
         inserted_ids: set,
-    ) -> bool:
-        """Did any surviving pre-existing σ candidate flip across the batch?
+    ) -> Dict[Tuple[DeweyID, str], Tuple[Node, bool]]:
+        """Surviving pre-existing σ candidates that flipped this batch.
 
+        Maps ``(node ID, constant)`` to ``(live node, satisfied now)``.
         Batch-inserted survivors are skipped (the Δ+ side σ-filters
         them against final values) and removed candidates are skipped
         (the Δ− side reads their detached values, which the dirty-
-        subtree guard certifies as pre-batch).
+        subtree machinery certifies as pre-batch).
         """
+        flips: Dict[Tuple[DeweyID, str], Tuple[Node, bool]] = {}
         for (node_id, constant), satisfied in watch.items():
             if node_id in inserted_ids:
                 continue
             node = self.document.node_by_id(node_id)
             if node is None:
                 continue
-            if (node.val == constant) != satisfied:
-                return True
-        return False
+            now = node.val == constant
+            if now != satisfied:
+                flips[(node_id, constant)] = (node, now)
+        return flips
 
     def _sources_pre_batch(
         self,
@@ -1212,13 +1496,22 @@ class MaintenanceEngine:
         inserted_labels: set,
         removed_candidates: BatchCandidates,
         cache: Optional[Dict[str, List[Node]]] = None,
+        flips: Optional[set] = None,
     ) -> Sources:
         """Reconstructed pre-batch σ-filtered canonical relations.
 
         ``R_old`` per label = live survivors (current relation minus
         batch inserts) plus the net-removed nodes, which -- detached
-        with their subtrees intact and certified clean by the dirty
-        guard -- still expose their pre-batch ``val``/``cont``.
+        with their subtrees intact and certified clean (or snapshot-
+        restored) by the dirty machinery -- still expose their
+        pre-batch ``val``/``cont``.
+
+        ``flips`` holds the batch's ``(node ID, constant)`` σ-flip keys
+        for the calling view: a surviving candidate's *pre-batch*
+        membership in a σ relation is its current test XOR-ed with flip
+        membership, and a flipped label must skip the untouched-label
+        fast path (its value-index rows reflect post-flip membership
+        even though the batch inserted/removed no node of the label).
 
         Labels the batch never touched reference the live relation (or
         the value index) directly; touched labels build their merged
@@ -1228,13 +1521,22 @@ class MaintenanceEngine:
         """
         if cache is None:
             cache = {}
+        flip_labels: set = (
+            {node_id.label for node_id, _constant in flips} if flips else set()
+        )
         sources: Sources = {}
         for node in pattern.nodes():
             label = node.label
+            sigma_flipped = (
+                node.value_pred is not None and flips and (
+                    label == "*" or label in flip_labels
+                )
+            )
             if (
                 label != "*"
                 and label not in inserted_labels
                 and label not in removed_candidates.by_label
+                and not sigma_flipped
             ):
                 # Untouched label: R_old == R_new.
                 if node.value_pred is not None:
@@ -1266,7 +1568,25 @@ class MaintenanceEngine:
                     base.extend(removed_candidates.by_label.get(label, ()))
                 base.sort(key=lambda n: n.id)
                 cache[label] = base
-            if label == "*":
+            if node.value_pred is not None and sigma_flipped:
+                # Removed candidates are never flip keys (flips track
+                # only live survivors), so their XOR term is False and
+                # the test reads their detached pre-batch value as-is.
+                constant = node.value_pred
+                if label == "*":
+                    rows = [
+                        n
+                        for n in base
+                        if n.kind == "element"
+                        and (n.val == constant) != ((n.id, constant) in flips)
+                    ]
+                else:
+                    rows = [
+                        n
+                        for n in base
+                        if (n.val == constant) != ((n.id, constant) in flips)
+                    ]
+            elif label == "*":
                 rows = filter_by_predicate(base, node)
             elif node.value_pred is not None:
                 constant = node.value_pred
@@ -1274,6 +1594,44 @@ class MaintenanceEngine:
             else:
                 rows = base
             sources[node.name] = rows
+        return sources
+
+    def _sources_flip_pre(
+        self,
+        pattern: Pattern,
+        inserted_ids: set,
+        inserted_labels: set,
+        cache: Optional[Dict[str, List[Node]]],
+        minus_sets: Dict[str, List[Node]],
+        plus_sets: Dict[str, List[Node]],
+    ) -> Sources:
+        """Survivor relations at *pre-batch* σ membership, per flip.
+
+        The evict side of a σ-flip repair reproduces embeddings the
+        extent stored before the batch, so its sources are the current
+        survivor relations with each flipped σ node's relation rolled
+        back: flipped-true candidates (present now, absent then)
+        dropped, flipped-false candidates (absent now, present then)
+        restored.  Net-removed nodes stay excluded -- embeddings
+        binding them are the Δ− side's job, which keeps the two
+        doomed-embedding sets disjoint.
+        """
+        sources = self._sources_excluding(
+            pattern, inserted_ids, cache=cache, excluded_labels=inserted_labels
+        )
+        for name in sorted(set(minus_sets) | set(plus_sets)):
+            rows = sources.get(name)
+            if rows is None:
+                continue
+            plus_ids = {node.id for node in plus_sets.get(name, ())}
+            adjusted = (
+                [n for n in rows if n.id not in plus_ids]
+                if plus_ids
+                else list(rows)
+            )
+            adjusted.extend(minus_sets.get(name, ()))
+            adjusted.sort(key=lambda n: n.id)
+            sources[name] = adjusted
         return sources
 
     # -- helpers -----------------------------------------------------------------
@@ -1322,12 +1680,93 @@ class MaintenanceEngine:
         return False
 
     def _recompute(self, registered: RegisteredView) -> None:
-        """Predicate-flip fallback: rebuild extent and lattice."""
+        """Whole-view fallback: rebuild extent and lattice in-process."""
         fresh = MaterializedView.materialize(
             registered.pattern, self.document, name=registered.name
         )
         registered.view._store = fresh._store
         registered.lattice.materialize(self.document)
+
+    def _recompute_views(
+        self,
+        registered_views: Sequence[RegisteredView],
+        planner=None,
+        executor=None,
+        report: Optional[BatchReport] = None,
+    ) -> None:
+        """Rebuild fallback views, as shard work when a pool is up.
+
+        Materialization is pure (evaluate extent pairs, evaluate
+        snowcap relations), so true fallbacks need not serialize on the
+        owner: each view becomes an extent unit plus -- when snowcaps
+        are materialized -- a lattice unit, executed through the same
+        executor as the batch rounds and installed from the returned
+        fragments.  With no parallel executor (or a single unit) the
+        plain in-process rebuild is cheaper and byte-identical.
+        """
+        if not registered_views:
+            return
+        units: List = []
+        parallel = executor is not None and executor.parallel
+        if parallel and planner is not None:
+            backend = shard_backend()
+            for registered in registered_views:
+                pattern = registered.pattern
+                labels = sorted(
+                    {
+                        node.label
+                        for node in pattern.nodes()
+                        if node.label != "*"
+                    }
+                )
+                shard = planner.anchor_shard(labels)
+                units.append(
+                    backend.ExtentRecomputeUnit(
+                        registered.name,
+                        shard,
+                        pattern=pattern,
+                        document=self.document,
+                        estimate=max(len(registered.view), 1),
+                    )
+                )
+                if registered.lattice.selected:
+                    units.append(
+                        backend.LatticeRecomputeUnit(
+                            registered.name,
+                            shard,
+                            pattern=pattern,
+                            document=self.document,
+                            selected=registered.lattice.selected,
+                            estimate=max(registered.lattice.stored_tuples(), 1),
+                        )
+                    )
+        if len(units) < 2:
+            for registered in registered_views:
+                started = time.perf_counter()
+                self._recompute(registered)
+                if report is not None and registered.name in report.view_reports:
+                    report.view_reports[
+                        registered.name
+                    ].phases.execute_update += time.perf_counter() - started
+            return
+        backend = shard_backend()
+        by_name = {registered.name: registered for registered in registered_views}
+        result = executor.run(planner.order_units(units))
+        if report is not None:
+            self._absorb_round(report, result, serial=False)
+        for unit, fragment in zip(result.units, result.fragments):
+            registered = by_name[unit.view_name]
+            if unit.kind == "recompute_extent":
+                pairs, _stats = fragment
+                fresh = MaterializedView.from_pairs(
+                    registered.pattern, pairs, name=registered.name
+                )
+                registered.view._store = fresh._store
+            else:
+                rows, _stats = fragment
+                relations = backend.resolve_snowcap_fragment(rows, self.document)
+                for subset, relation in relations.items():
+                    registered.lattice.load_materialized(subset, relation)
 
 
 class BatchEngine:

@@ -144,6 +144,20 @@ def expand_delete_terms(pattern: Pattern, prune_even_terms: bool = False) -> Lis
     return terms
 
 
+def flip_repair_term(name: str) -> Term:
+    """The repair term of one flipped σ node: Δ at ``name`` alone.
+
+    Unlike insertion/deletion terms, a flip Δ-set is *not* descendant-
+    closed -- a σ flip changes one node's membership without touching
+    its pattern subtree -- so these terms are built directly instead of
+    via :func:`expand_insert_terms`.  Evaluating the term against
+    survivor relations (pre-batch membership for evictions, current
+    membership for admissions) yields exactly the embeddings gained or
+    lost through the flipped candidates, in O(|flipped|) join work.
+    """
+    return Term(frozenset((name,)), +1)
+
+
 def prune_by_empty_delta(terms: Sequence[Term], deltas: DeltaTables) -> List[Term]:
     """Prop. 3.6: drop terms whose Δ-set touches an empty Δ table."""
     return [

@@ -19,9 +19,12 @@ from repro.sharding.planner import ShardPlanner, shard_of_label
 from repro.sharding.session import ShardSession
 from repro.sharding.units import (
     DeleteSideUnit,
+    ExtentRecomputeUnit,
     InsertSideUnit,
+    LatticeRecomputeUnit,
     RefreshUnit,
     ShardWorkUnit,
+    SigmaRepairUnit,
     UnitStats,
 )
 
@@ -39,13 +42,16 @@ _register_shard_backend(_sys.modules[__name__])
 
 __all__ = [
     "DeleteSideUnit",
+    "ExtentRecomputeUnit",
     "InsertSideUnit",
+    "LatticeRecomputeUnit",
     "RefreshUnit",
     "RoundResult",
     "ShardExecutor",
     "ShardPlanner",
     "ShardSession",
     "ShardWorkUnit",
+    "SigmaRepairUnit",
     "UnitStats",
     "merge_addition_fragments",
     "merge_embedding_fragments",

@@ -12,6 +12,14 @@ count, shard count or scheduling:
   order.
 * Snowcap fragments carry binding rows as ID tuples; the owner
   re-resolves them against the live document into node rows.
+
+σ-flip repair fragments ride the same mergers: an evict fragment is an
+embedding map unioned with the batch Δ− fragments before the single
+``removals_from_embeddings`` count, an admit fragment is a counted row
+dict summed with the batch Δ+ fragments.  Sharded-recompute lattice
+fragments reuse :func:`resolve_snowcap_fragment` (identical
+``(schema, ID rows)`` shape); extent-recompute fragments are already
+sorted pairs and install without a merge step (one unit per view).
 """
 
 from __future__ import annotations

@@ -27,9 +27,13 @@ Design (replicated state machines):
   concurrently, replays those deltas into its authoritative extents.
   The deltas are exactly what a serial engine would have computed, so
   owner extents stay byte-identical to ``workers=0`` propagation.
-* a view that trips a recompute fallback on its worker ships its full
-  recomputed extent instead (rare; the owner holds no lattices, so it
-  cannot recompute as cheaply itself).
+* σ-flip repair runs on the workers (their replicas hold the lattices
+  and survivor relations); the repair Δ± folds into the ordinary
+  shipped delta rows, so the owner replays flips without ever seeing
+  the repair machinery.  A view that still trips a true recompute
+  fallback on its worker ships its full recomputed extent instead
+  (rare; the owner holds no lattices, so it cannot recompute as
+  cheaply itself).
 
 Failure semantics mirror the engine's poison-batch contract: a
 statement that fails poisons *its* batch only.  Owner and replicas run
@@ -106,6 +110,7 @@ def _session_worker_main(conn, owned_names: List[str]) -> None:
                     "additions": deltas.get("additions", {}),
                     "removals": deltas.get("removals", {}),
                     "fallback": report.fallbacks.get(name),
+                    "repairs": report.repairs.get(name),
                     "stats": None,
                 }
                 if view_report is not None:
@@ -364,6 +369,8 @@ class ShardSession:
                     view_report.terms_surviving = stats["terms_surviving"]
                     view_report.term_eval_seconds = stats["term_eval_seconds"]
                 report.view_reports[name] = view_report
+                if entry.get("repairs"):
+                    report.repairs[name] = entry["repairs"]
                 if entry["fallback"] is not None:
                     report.fallbacks[name] = entry["fallback"]
                     view_report.predicate_fallback = True
@@ -443,11 +450,10 @@ class ShardSession:
 
     @staticmethod
     def _replace_extent(registered, content) -> None:
-        from repro.views.view import MaterializedView, row_sort_key
+        from repro.views.view import MaterializedView
 
-        fresh = MaterializedView(registered.pattern, name=registered.name)
-        fresh._store.load_sorted(
-            sorted(content, key=lambda item: row_sort_key(item[0]))
+        fresh = MaterializedView.from_pairs(
+            registered.pattern, content, name=registered.name
         )
         registered.view._store = fresh._store
 

@@ -21,6 +21,18 @@ Three unit kinds cover the round:
   (shipped as ID tuples and re-resolved to live nodes by the owner);
   fragment: ``(additions, snowcap id-rows)``.
 
+Two more kinds serve the σ-flip repair and fallback paths:
+
+* :class:`SigmaRepairUnit` -- the flip repair Δ± of one view: evict
+  embeddings rooted at flipped-false candidates (pre-batch-membership
+  survivor relations) and admit flipped-true ones (current-membership
+  relations); fragment: ``(evictions, admissions)``.
+* :class:`ExtentRecomputeUnit` / :class:`LatticeRecomputeUnit` -- when
+  a true fallback fires, full materialization is itself pure work:
+  these evaluate one view's extent rows resp. snowcap relations and
+  ship them back (extent rows directly, lattice rows as ID tuples), so
+  even recomputation fans out instead of serializing on the owner.
+
 Mutation of views, stores and lattices never happens here -- fragments
 are applied by the engine on the owning process, which is what keeps
 sharded extents byte-identical to the serial path.
@@ -33,6 +45,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.maintenance.delete import (
     collect_delete_embeddings,
+    removals_from_embeddings,
     surviving_delete_terms,
 )
 from repro.maintenance.delta import BatchCandidates, delta_from_candidates
@@ -42,6 +55,9 @@ from repro.maintenance.insert import (
     snowcap_additions,
     surviving_insert_terms,
 )
+from repro.maintenance.repair import collect_flip_embeddings
+from repro.pattern.evaluate import evaluate_bindings, evaluate_view
+from repro.views.view import row_sort_key
 
 
 class UnitStats:
@@ -138,6 +154,7 @@ class DeleteSideUnit(ShardWorkUnit):
         inserted_ids: set,
         inserted_labels: set,
         source_cache: Optional[dict],
+        flips: Optional[set] = None,
     ):
         super().__init__(view_name, shard, labels, estimate)
         self.engine = engine
@@ -146,6 +163,9 @@ class DeleteSideUnit(ShardWorkUnit):
         self.inserted_ids = inserted_ids
         self.inserted_labels = inserted_labels
         self.source_cache = source_cache
+        #: ``(node ID, constant)`` keys of σ flips in this batch; the
+        #: pre-batch relation reconstruction XOR-corrects against them.
+        self.flips = flips
 
     def execute(self) -> Tuple[Dict[tuple, tuple], UnitStats]:
         stats = UnitStats()
@@ -176,6 +196,7 @@ class DeleteSideUnit(ShardWorkUnit):
             self.inserted_labels,
             self.removed_candidates,
             self.source_cache,
+            flips=self.flips,
         )
         embeddings, stats.eval_seconds = collect_delete_embeddings(
             pattern, terms, old_sources, delta_minus, self.registered.lattice
@@ -275,3 +296,152 @@ class InsertSideUnit(ShardWorkUnit):
                 snowcap_rows = relations
             stats.snowcap_seconds = time.perf_counter() - started
         return additions, snowcap_rows, stats
+
+
+class SigmaRepairUnit(ShardWorkUnit):
+    """σ-flip repair Δ± for one view: evict + admit embeddings.
+
+    The evict side reads *pre-batch membership* survivor relations
+    (flipped-true candidates removed, flipped-false restored) so the
+    repair terms reproduce exactly the stored embeddings of the
+    flipped-false candidates; the admit side reads current-membership
+    survivor relations and projects with live vals, so admitted rows
+    match a fresh evaluation byte for byte.  Fragment:
+    ``(evictions, admissions)`` -- an embedding map keyed by binding
+    IDs (merged with the batch Δ− fragments) and a counted row dict
+    (merged with the batch Δ+ fragments).
+    """
+
+    kind = "repair"
+
+    def __init__(
+        self,
+        view_name: str,
+        shard: int,
+        labels: Sequence[str],
+        estimate: int,
+        *,
+        engine,
+        registered,
+        minus_sets: Dict[str, list],
+        plus_sets: Dict[str, list],
+        inserted_ids: set,
+        inserted_labels: set,
+        source_cache: Optional[dict],
+    ):
+        super().__init__(view_name, shard, labels, estimate)
+        self.engine = engine
+        self.registered = registered
+        self.minus_sets = minus_sets
+        self.plus_sets = plus_sets
+        self.inserted_ids = inserted_ids
+        self.inserted_labels = inserted_labels
+        self.source_cache = source_cache
+
+    def execute(self) -> Tuple[Dict[tuple, tuple], Dict[tuple, int], UnitStats]:
+        stats = UnitStats()
+        stats.live = True
+        pattern = self.registered.pattern
+        stats.delta_sizes = {
+            name: len(nodes)
+            for sets in (self.minus_sets, self.plus_sets)
+            for name, nodes in sets.items()
+        }
+        evictions: Dict[tuple, tuple] = {}
+        if self.minus_sets:
+            pre_sources = self.engine._sources_flip_pre(
+                pattern,
+                self.inserted_ids,
+                self.inserted_labels,
+                self.source_cache,
+                self.minus_sets,
+                self.plus_sets,
+            )
+            evictions, seconds = collect_flip_embeddings(
+                pattern, self.minus_sets, pre_sources, "-"
+            )
+            stats.eval_seconds += seconds
+        admissions: Dict[tuple, int] = {}
+        if self.plus_sets:
+            r_sources = self.engine._sources_excluding(
+                pattern,
+                self.inserted_ids,
+                cache=self.source_cache,
+                excluded_labels=self.inserted_labels,
+            )
+            embeddings, seconds = collect_flip_embeddings(
+                pattern, self.plus_sets, r_sources, "+"
+            )
+            stats.eval_seconds += seconds
+            admissions = removals_from_embeddings(embeddings)
+        return evictions, admissions, stats
+
+
+class ExtentRecomputeUnit(ShardWorkUnit):
+    """Full extent materialization of one view, run as shard work.
+
+    A true fallback (e.g. an unrepairable dirty subtree) still has to
+    re-evaluate the view, but the evaluation itself is pure: this unit
+    ships the sorted ``(row, count)`` pairs back to the owner, which
+    installs them via :meth:`MaterializedView.from_pairs` -- so several
+    falling-back views rematerialize in parallel instead of
+    serializing on the owning process.
+    """
+
+    kind = "recompute_extent"
+
+    def __init__(self, view_name: str, shard: int, *, pattern, document, estimate: int):
+        super().__init__(view_name, shard, (), estimate)
+        self.pattern = pattern
+        self.document = document
+
+    def execute(self) -> Tuple[List[Tuple[tuple, int]], UnitStats]:
+        stats = UnitStats()
+        stats.live = True
+        started = time.perf_counter()
+        content = evaluate_view(self.pattern, self.document)
+        stats.eval_seconds = time.perf_counter() - started
+        pairs = sorted(content, key=lambda item: row_sort_key(item[0]))
+        return pairs, stats
+
+
+class LatticeRecomputeUnit(ShardWorkUnit):
+    """Snowcap rematerialization of one view, run as shard work.
+
+    Evaluates every selected snowcap's binding relation and ships the
+    rows as ID tuples (the resolve step on the owner swaps live nodes
+    back in); paired with :class:`ExtentRecomputeUnit` to cover a full
+    fallback materialization.
+    """
+
+    kind = "recompute_lattice"
+
+    def __init__(
+        self,
+        view_name: str,
+        shard: int,
+        *,
+        pattern,
+        document,
+        selected: Sequence[frozenset],
+        estimate: int,
+    ):
+        super().__init__(view_name, shard, (), estimate)
+        self.pattern = pattern
+        self.document = document
+        self.selected = list(selected)
+
+    def execute(self) -> Tuple[Dict[frozenset, tuple], UnitStats]:
+        stats = UnitStats()
+        stats.live = True
+        started = time.perf_counter()
+        fragment: Dict[frozenset, tuple] = {}
+        for subset in self.selected:
+            sub = self.pattern.subpattern(subset)
+            relation = evaluate_bindings(sub, self.document)
+            fragment[subset] = (
+                relation.schema,
+                [tuple(cell.id for cell in row) for row in relation.rows],
+            )
+        stats.eval_seconds = time.perf_counter() - started
+        return fragment, stats

@@ -201,6 +201,20 @@ class SnowcapLattice:
         """The stored binding relation of a snowcap, if materialized."""
         return self._materialized.get(subset)
 
+    def load_materialized(self, subset: NodeSet, relation: Relation) -> None:
+        """Install a precomputed binding relation for one snowcap.
+
+        The sharded-recompute path evaluates snowcaps inside workers and
+        ships the rows back; this replaces the stored relation without
+        re-evaluating the sub-pattern.  The subset must be one of the
+        selected snowcaps (loading arbitrary sets would desynchronize
+        the maintenance terms that consult :meth:`relation_for`)."""
+        if subset not in self.selected:
+            raise ValueError("subset %r is not a selected snowcap" % (sorted(subset),))
+        self._materialized[subset] = relation.reordered(
+            sorted(subset, key=self.pattern.node_names().index)
+        )
+
     def materialized_sets(self) -> List[NodeSet]:
         return list(self._materialized)
 
@@ -250,6 +264,50 @@ class SnowcapLattice:
                 kept.extend(extra.reordered(relation.schema).rows)
             # Appending/filtering changes positions only; cached indexes
             # map IDs to row tuples and are invalidated by replace_rows.
+            relation.replace_rows(kept)
+        return removed
+
+    def apply_flip_repair(
+        self,
+        drops_by_name: Dict[str, Set[DeweyID]],
+        additions: Dict[NodeSet, Relation],
+    ) -> int:
+        """Column-aware σ-flip upkeep: drop per-column, then append.
+
+        ``drops_by_name`` maps a σ pattern-node name to the IDs whose
+        value predicate flipped false: a stored row dies only when the
+        flipped node is bound *at that name's column* (unlike
+        :meth:`apply_batch`, whose deletion filter is column-blind --
+        a node removed from the document can bind nowhere, but a
+        flipped node may still bind other, non-σ columns).
+        ``additions`` carries the flipped-true rows per snowcap, as in
+        :meth:`apply_batch`.  Returns the number of rows dropped.
+        """
+        removed = 0
+        for subset, relation in self._materialized.items():
+            columns = [
+                (index, drops_by_name[name])
+                for index, name in enumerate(relation.schema)
+                if name in drops_by_name and drops_by_name[name]
+            ]
+            extra = additions.get(subset)
+            has_extra = extra is not None and bool(extra.rows)
+            kept = relation.rows
+            if columns:
+                kept = [
+                    row
+                    for row in relation.rows
+                    if not any(row[index].id in doomed for index, doomed in columns)
+                ]
+                removed += len(relation.rows) - len(kept)
+                if not has_extra and len(kept) == len(relation.rows):
+                    continue
+            elif not has_extra:
+                continue
+            if kept is relation.rows:
+                kept = list(kept)
+            if has_extra:
+                kept.extend(extra.reordered(relation.schema).rows)
             relation.replace_rows(kept)
         return removed
 

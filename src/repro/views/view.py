@@ -54,6 +54,22 @@ class MaterializedView:
         )
         return view
 
+    @classmethod
+    def from_pairs(
+        cls,
+        pattern: Pattern,
+        pairs: Iterable[Tuple[ViewTuple, int]],
+        name: str = "view",
+    ) -> "MaterializedView":
+        """Load an extent from precomputed ``(row, count)`` pairs.
+
+        The sharded-recompute path evaluates the view inside a worker
+        and ships the pairs back as a fragment; this rebuilds the owner
+        extent without re-evaluating the pattern."""
+        view = cls(pattern, name=name)
+        view._store.load_sorted(sorted(pairs, key=lambda item: row_sort_key(item[0])))
+        return view
+
     # -- reads ----------------------------------------------------------------
 
     def count(self, row: ViewTuple) -> int:

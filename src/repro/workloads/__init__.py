@@ -9,10 +9,14 @@
 * :mod:`repro.workloads.updates` -- the XPathMark-derived update test
   set of Appendix A (classes L, LB, A, O, AO) plus the per-view update
   groups used by Figures 18-21 and 26-28.
+* :mod:`repro.workloads.churn` -- adversarial mixed-churn batch
+  streams (σ-value rewrites, insert-then-delete round-trips, dirty
+  pairs) exercising the σ-flip repair and fallback paths.
 """
 
 from repro.workloads.xmark import generate_document, generate_xml, size_of
 from repro.workloads.queries import VIEW_TEXTS, view_definition, view_pattern
+from repro.workloads.churn import churn_batches, flip_candidates
 from repro.workloads.updates import (
     UPDATE_CLASSES,
     UPDATE_TEXTS,
@@ -26,7 +30,9 @@ __all__ = [
     "UPDATE_TEXTS",
     "VIEW_TEXTS",
     "VIEW_UPDATE_GROUPS",
+    "churn_batches",
     "delete_variant",
+    "flip_candidates",
     "generate_document",
     "generate_xml",
     "insert_update",

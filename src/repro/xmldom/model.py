@@ -66,6 +66,16 @@ def set_hot_path_caches(enabled: bool) -> bool:
     return previous
 
 
+def hot_path_caches_enabled() -> bool:
+    """Whether val/cont memoization and indexed σ lookups are active.
+
+    The maintenance engine's dirty-subtree repair restores pre-batch
+    values into detached nodes' caches; that restoration is only
+    effective while memoization is on, so the engine consults this
+    before choosing repair over recomputation."""
+    return _USE_HOT_PATH_CACHES
+
+
 def fresh_val(node: "Node") -> str:
     """``val`` recomputed from the tree, bypassing any memoized value."""
     if isinstance(node, ElementNode):

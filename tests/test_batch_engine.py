@@ -358,27 +358,46 @@ class TestReductionRules:
 
 
 class TestFallbackReasons:
-    """BatchReport.fallbacks carries the reason the recompute fired."""
+    """σ flips and dirty subtrees repair in place; fallbacks are scoped."""
 
-    def test_predicate_flip_reason(self):
-        document = parse_document(
+    @staticmethod
+    def _flip_document():
+        return parse_document(
             "<site><open_auctions><open_auction><bidder>"
             "<increase>4.50</increase></bidder></open_auction>"
             "</open_auctions></site>"
         )
+
+    def test_predicate_flip_repairs_in_place(self):
+        document = self._flip_document()
         engine = BatchEngine(document)
         registered = engine.register_view(view_pattern("Q3"), "Q3")
         report = engine.apply(
             UpdateBatch([parse_update("for $i in //increase insert flip", name="flip")])
         )
-        assert report.fallbacks == {"Q3": "predicate_flip"}
-        assert report.report_for("Q3").predicate_fallback
+        assert report.fallbacks == {}
+        assert not report.report_for("Q3").predicate_fallback
+        repairs = report.repairs["Q3"]
+        assert repairs["sigma_flips"] == 1
+        assert repairs["evicted"] == 1 and repairs.get("admitted", 0) == 0
         assert registered.view.equals_fresh_evaluation(document)
 
-    def test_dirty_removed_subtree_reason(self):
-        document = generate_document(scale=1)
-        engine = BatchEngine(document)
-        registered = engine.register_view(view_pattern("Q1"), "Q1")
+    def test_predicate_flip_fallback_when_repair_disabled(self):
+        document = self._flip_document()
+        engine = BatchEngine(document, sigma_repair=False)
+        registered = engine.register_view(view_pattern("Q3"), "Q3")
+        report = engine.apply(
+            UpdateBatch([parse_update("for $i in //increase insert flip", name="flip")])
+        )
+        assert report.fallbacks == {
+            "Q3": {"reason": "predicate_flip", "candidates": 1}
+        }
+        assert report.report_for("Q3").predicate_fallback
+        assert report.repairs == {}
+        assert registered.view.equals_fresh_evaluation(document)
+
+    @staticmethod
+    def _dirty_batch(document):
         # Q1 stores name.val, so drift matters only on removed *name*
         # nodes: insert under an existing name, then delete its whole
         # ancestor chain via a *path* (a resolved delete would just
@@ -387,17 +406,33 @@ class TestFallbackReasons:
         name = parse_update("delete /site/people/person/name").target.evaluate(
             document
         )[0]
-        report = engine.apply(
-            UpdateBatch(
-                [
-                    ResolvedInsertUpdate(
-                        [name.id], insert_update("X1_L").forest, name="ins"
-                    ),
-                    parse_update("delete /site/people", name="del"),
-                ]
-            )
+        return UpdateBatch(
+            [
+                ResolvedInsertUpdate(
+                    [name.id], insert_update("X1_L").forest, name="ins"
+                ),
+                parse_update("delete /site/people", name="del"),
+            ]
         )
-        assert report.fallbacks == {"Q1": "dirty_removed_subtree"}
+
+    def test_dirty_removed_subtree_restores_snapshots(self):
+        document = generate_document(scale=1)
+        engine = BatchEngine(document)
+        registered = engine.register_view(view_pattern("Q1"), "Q1")
+        report = engine.apply(self._dirty_batch(document))
+        assert report.fallbacks == {}
+        assert report.dirty_restored >= 1
+        assert registered.view.equals_fresh_evaluation(document)
+
+    def test_dirty_removed_subtree_fallback_when_repair_disabled(self):
+        document = generate_document(scale=1)
+        engine = BatchEngine(document, sigma_repair=False)
+        registered = engine.register_view(view_pattern("Q1"), "Q1")
+        report = engine.apply(self._dirty_batch(document))
+        fallback = report.fallbacks["Q1"]
+        assert fallback["reason"] == "dirty_removed_subtree"
+        assert fallback["candidates"] >= 1
+        assert report.dirty_restored == 0
         assert registered.view.equals_fresh_evaluation(document)
 
     def test_clean_batches_report_no_fallbacks(self):
@@ -406,6 +441,8 @@ class TestFallbackReasons:
         engine.register_view(view_pattern("Q1"), "Q1")
         report = engine.apply(UpdateBatch([insert_update("X1_L")]))
         assert report.fallbacks == {}
+        assert report.repairs == {}
+        assert report.dirty_restored == 0
 
 
 class TestBatchEngineApi:

@@ -277,9 +277,10 @@ class TestShardedPropagation:
         for name in VIEWS:
             assert views[name].view.equals_fresh_evaluation(document), name
 
-    def test_sigma_flip_fallback_under_sharding(self):
+    def test_sigma_flip_repairs_under_sharding(self):
         # Inserting text under a σ-watched node flips its predicate;
-        # the sharded path must fall back exactly like the serial one.
+        # the sharded path must run the same in-place repair as the
+        # serial one (no fallback, identical repaired extent).
         document = parse_document(
             "<site><open_auctions><open_auction><bidder>"
             "<increase>4.50</increase></bidder></open_auction>"
@@ -292,8 +293,29 @@ class TestShardedPropagation:
         report = engine.apply_batch(
             [parse_update("for $i in //increase insert extra", name="flip")]
         )
-        assert report.fallbacks.get("Q3") == "predicate_flip"
+        assert report.fallbacks == {}
+        assert report.repairs["Q3"]["sigma_flips"] == 1
         assert registered.view.equals_fresh_evaluation(document)
+
+    def test_sigma_flip_fallback_recomputes_on_shards(self):
+        # With repair disabled, the fallback recompute itself fans out
+        # as shard units -- extents must match the serial recompute.
+        document = parse_document(
+            "<site><open_auctions><open_auction><bidder>"
+            "<increase>4.50</increase></bidder>"
+            "<bidder><increase>7.25</increase></bidder></open_auction>"
+            "</open_auctions></site>"
+        )
+        engine = MaintenanceEngine(document, workers=2, sigma_repair=False)
+        views = {name: engine.register_view(view_pattern(name), name) for name in VIEWS}
+        from repro.updates.language import parse_update
+
+        report = engine.apply_batch(
+            [parse_update("for $i in //increase insert extra", name="flip")]
+        )
+        assert report.fallbacks["Q3"]["reason"] == "predicate_flip"
+        for name in VIEWS:
+            assert views[name].view.equals_fresh_evaluation(document), name
 
     def test_queue_fans_out_maintenance_rounds(self):
         stream = statement_stream(
