@@ -26,7 +26,10 @@ from __future__ import annotations
 
 import time
 
+from conftest import traced_propagation
+
 from repro.maintenance.engine import BatchEngine, MaintenanceEngine
+from repro.obs import Observability
 from repro.updates.language import UpdateBatch
 from repro.workloads.queries import view_pattern
 from repro.workloads.updates import statement_stream
@@ -41,31 +44,29 @@ REPEATS = 3
 STREAM_NAMES = ("X1_L", "X2_L", "X3_A", "A6_A", "B3_LB", "E6_L")
 
 
-def _propagation_seconds(reports) -> float:
-    """Summed ``propagation_seconds()``: maintenance phases without the
-    shared find-targets time; batch reports count their once-per-batch
-    net Δ construction once."""
-    return sum(report.propagation_seconds() for report in reports)
-
-
 def _run_sequential(stream):
     document = generate_document(scale=SCALE)
-    engine = MaintenanceEngine(document)
+    obs = Observability()
+    engine = MaintenanceEngine(document, obs=obs)
     registered = {name: engine.register_view(view_pattern(name), name) for name in VIEWS}
     started = time.perf_counter()
-    reports = [engine.apply_update(statement) for statement in stream]
+    for statement in stream:
+        engine.apply_update(statement)
     wall = time.perf_counter() - started
-    return document, registered, _propagation_seconds(reports), wall
+    # Propagation comes from the tracer, not local re-timing: the phase
+    # spans carry the same floats the reports accumulated.
+    return document, registered, traced_propagation(obs), wall
 
 
 def _run_batched(stream):
     document = generate_document(scale=SCALE)
-    engine = BatchEngine(document)
+    obs = Observability()
+    engine = BatchEngine(document, obs=obs)
     registered = {name: engine.register_view(view_pattern(name), name) for name in VIEWS}
     started = time.perf_counter()
     report = engine.apply(UpdateBatch(stream))
     wall = time.perf_counter() - started
-    return document, registered, _propagation_seconds([report]), wall, report
+    return document, registered, traced_propagation(obs), wall, report
 
 
 def run_gate() -> dict:

@@ -29,6 +29,20 @@ def rows_to_table(rows: Sequence[Mapping], columns: Sequence[str], title: str) -
     return "\n".join(lines)
 
 
+def traced_propagation(obs) -> float:
+    """Drain ``obs`` and return the traced propagation seconds.
+
+    The benches' single timing source: phase / net-effects /
+    shard-round spans recorded by the engine add up to exactly what
+    ``report.propagation_seconds()`` accumulated (same floats, same
+    intervals), so modules no longer re-time locally what the tracer
+    already measured.
+    """
+    from repro.obs.export import propagation_from_records, span_records
+
+    return propagation_from_records(span_records(obs.flush()))
+
+
 @pytest.fixture(scope="session")
 def save_table():
     os.makedirs(OUT_DIR, exist_ok=True)

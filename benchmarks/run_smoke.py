@@ -60,6 +60,7 @@ BATCH_STREAM_LENGTH = 16
 CHURN_BATCHES = 8
 FALLBACK_RATE_CEILING = 0.05
 OUT_PATH = os.path.join(os.path.dirname(__file__), "out", "BENCH_hotpath.json")
+TRACE_PATH = os.path.join(os.path.dirname(__file__), "out", "trace.jsonl")
 
 #: view -> the Appendix-A statement its single-target updates derive from.
 CELLS = (("Q1", "X1_L"), ("Q3", "X2_L"))
@@ -78,6 +79,7 @@ RUN_KEYS = frozenset(
         "floor",
         "batch_equivalence",
         "fallback_rate",
+        "metrics",
         "passed",
     }
 )
@@ -215,6 +217,52 @@ def _measure_fallback_rate() -> dict:
     }
 
 
+
+def _counter_total(counter) -> float:
+    return sum(value for _labels, value in counter.samples())
+
+
+def _collect_obs_metrics() -> dict:
+    """Drive a queued stream over an instrumented engine; distill the
+    registry into the run entry's ``metrics`` block and leave the full
+    JSONL trace at ``TRACE_PATH`` (uploaded as a CI artifact).
+
+    This is the rebalancing input ROADMAP item 2 asks for: per-batch
+    propagation latency quantiles, queue backpressure and
+    fallback/repair counts, captured by ``repro.obs`` instead of ad-hoc
+    re-timing.
+    """
+    from repro.maintenance.queue import ApplyQueue
+    from repro.obs import Observability
+
+    os.makedirs(os.path.dirname(TRACE_PATH), exist_ok=True)
+    obs = Observability(trace_path=TRACE_PATH)
+    engine = BatchEngine(generate_document(scale=SCALE), obs=obs)
+    for name in ("Q1", "Q3"):
+        engine.register_view(view_pattern(name), name)
+    stream = statement_stream(
+        generate_document(scale=SCALE), BATCH_STREAM_LENGTH, seed=23, insert_ratio=0.7
+    )
+    with ApplyQueue(engine, max_batch_size=4) as queue:
+        queue.extend_async(stream)
+        queue.flush()
+    # close() wrote every span the queue worker recorded to TRACE_PATH.
+    propagation = obs.metrics.get("repro_propagation_seconds")
+    depth = obs.metrics.get("repro_queue_depth")
+    return {
+        "propagation_p50_ms": round(propagation.quantile(0.5) * 1e3, 3),
+        "propagation_p95_ms": round(propagation.quantile(0.95) * 1e3, 3),
+        "propagation_batches": propagation.count(),
+        "queue_depth_max": depth.max_value(),
+        "queue_commit_p95_ms": round(
+            obs.metrics.get("repro_queue_commit_seconds").quantile(0.95) * 1e3, 3
+        ),
+        "fallbacks_total": _counter_total(obs.metrics.get("repro_fallbacks_total")),
+        "repairs_total": _counter_total(obs.metrics.get("repro_repairs_total")),
+        "trace_path": os.path.relpath(TRACE_PATH, os.path.dirname(os.path.dirname(TRACE_PATH))),
+    }
+
+
 def _write_step_summary(run: dict) -> None:
     """Append the gate metrics to the GitHub Actions job summary."""
     path = os.environ.get("GITHUB_STEP_SUMMARY")
@@ -236,11 +284,25 @@ def _write_step_summary(run: dict) -> None:
             if run["batch_equivalence"]["extents_identical"]
             else "DIVERGED"
         ),
+        "| propagation p50 / p95 | %.3f / %.3f ms | recorded |"
+        % (
+            run["metrics"]["propagation_p50_ms"],
+            run["metrics"]["propagation_p95_ms"],
+        ),
+        "| queue depth max | %d | recorded |" % run["metrics"]["queue_depth_max"],
         "| result | %s | |" % ("PASS" if run["passed"] else "FAIL"),
         "",
     ]
     with open(path, "a") as handle:
         handle.write("\n".join(lines) + "\n")
+        try:
+            from repro.obs.cli import render_markdown
+            from repro.obs.export import read_jsonl
+
+            handle.write("\n### Observability trace\n\n")
+            handle.write(render_markdown(read_jsonl(TRACE_PATH)) + "\n")
+        except OSError:
+            pass  # no trace captured; the gate table above still stands
 
 
 def _append_run(run: dict) -> None:
@@ -311,6 +373,7 @@ def main() -> int:
     speedup = total_recompute / total_propagation
     batch_check = _check_batch_equivalence()
     fallback = _measure_fallback_rate()
+    obs_metrics = _collect_obs_metrics()
     passed = (
         speedup >= SPEEDUP_FLOOR
         and batch_check["extents_identical"]
@@ -327,6 +390,7 @@ def main() -> int:
         "floor": SPEEDUP_FLOOR,
         "batch_equivalence": batch_check,
         "fallback_rate": fallback,
+        "metrics": obs_metrics,
         "passed": passed,
     }
     _append_run(run)
@@ -341,6 +405,18 @@ def main() -> int:
     print(
         "fallback rate %.3f over %d flip-bearing churn batches (ceiling %.2f)"
         % (fallback["rate"], fallback["flip_bearing_batches"], fallback["ceiling"])
+    )
+    print(
+        "queued propagation p50 %.3fms  p95 %.3fms  queue depth max %d  "
+        "fallbacks %d  repairs %d  [%s]"
+        % (
+            obs_metrics["propagation_p50_ms"],
+            obs_metrics["propagation_p95_ms"],
+            obs_metrics["queue_depth_max"],
+            obs_metrics["fallbacks_total"],
+            obs_metrics["repairs_total"],
+            obs_metrics["trace_path"],
+        )
     )
     print(
         "maintenance-vs-recompute speedup %.2fx (floor %.1fx) -> %s  [%s]"

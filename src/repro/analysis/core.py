@@ -26,7 +26,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 #: Engine packages whose iteration order feeds ordered outputs; the
 #: determinism family scopes itself to these by default.
 ORDERED_OUTPUT_PACKAGES = frozenset(
-    {"sharding", "maintenance", "updates", "views"}
+    {"sharding", "maintenance", "updates", "views", "obs"}
 )
 
 

@@ -3,7 +3,9 @@
 Five families, one module each:
 
 * :mod:`~repro.analysis.rules.determinism` -- hash-seed / wall-clock /
-  randomness hazards in packages whose iteration feeds ordered output;
+  randomness hazards in packages whose iteration feeds ordered output,
+  plus the ``repro.obs`` clock discipline (wall-clock stamps live in
+  ``obs/export.py`` alone; spans carry monotonic readings);
 * :mod:`~repro.analysis.rules.forksafety` -- module-global writes in
   fork-worker entry points and fork-hostile captures;
 * :mod:`~repro.analysis.rules.purity` -- shard work units must return

@@ -329,6 +329,12 @@ class WallClockRule(Rule):
         "wall-clock read; results that embed timestamps differ run to run"
     )
 
+    def applies(self, module: ModuleInfo) -> bool:
+        # repro.obs has its own, stricter clock discipline (the
+        # obs-clock rule below): export.py alone may stamp capture
+        # times, everything else is perf_counter-only.
+        return module.top_package != "obs"
+
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
@@ -340,6 +346,39 @@ class WallClockRule(Rule):
                     node,
                     "%s() reads the wall clock; use time.perf_counter() for "
                     "durations or pass timestamps in explicitly" % name,
+                )
+
+
+@register
+class ObsClockRule(Rule):
+    """Clock discipline inside ``repro.obs``: spans carry monotonic
+    (``perf_counter``/``monotonic``) readings only; the one place
+    allowed to stamp wall-clock capture times is ``obs/export.py``."""
+
+    id = "obs-clock"
+    family = "determinism"
+    description = (
+        "wall-clock read inside repro.obs outside export.py; spans must "
+        "carry perf_counter/monotonic readings only"
+    )
+    packages = frozenset({"obs"})
+
+    _EXPORT_MODULE = ("obs", "export")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.package == self._EXPORT_MODULE:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in _WALLCLOCK_CALLS:
+                yield self.finding(
+                    module,
+                    node,
+                    "%s() stamps wall-clock time into trace data; only "
+                    "repro/obs/export.py may do that (at export time) -- "
+                    "use time.perf_counter()/time.monotonic() here" % name,
                 )
 
 

@@ -1,7 +1,8 @@
 """Fragment-picklability rule.
 
 Whatever a shard work unit returns is pickled through a pipe in fork
-mode, so fragment/stats classes in ``sharding/`` may only carry lean,
+mode, so fragment/stats classes in ``sharding/`` and ``obs/`` (span
+fragments ride the same pipe) may only carry lean,
 pickle-friendly fields: scalars, strings, containers of them, and
 ``DeweyID`` (whose ``__reduce__`` ships just the step tuple).  A raw
 node, view or lattice reference would drag a subtree (or the whole
@@ -81,6 +82,11 @@ def _literal_ok(value: ast.AST) -> bool:
             "dict",
             "list",
             "tuple",
+            "int",
+            "float",
+            "str",
+            "bool",
+            "bytes",
             "DeweyID",
         ):
             return True
@@ -102,7 +108,7 @@ class FragmentFieldRule(Rule):
         "fragment class field outside the pickle allowlist (scalars, "
         "containers, DeweyID); ship ids, not node/view references"
     )
-    packages = frozenset({"sharding"})
+    packages = frozenset({"sharding", "obs"})
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
         for class_node in ast.walk(module.tree):

@@ -2,7 +2,7 @@
 
 The repo's layer order (ROADMAP "Engine architecture", bottom-up)::
 
-    xmldom -> algebra -> pattern -> updates -> views
+    xmldom -> algebra / obs -> pattern -> updates -> views
            -> schema / optimizer / workloads
            -> maintenance -> sharding / baselines -> bench / analysis
 
@@ -25,6 +25,7 @@ from repro.analysis.core import Finding, ModuleInfo, Rule, register
 LAYER_RANKS = {
     "xmldom": 0,
     "algebra": 1,
+    "obs": 1,
     "pattern": 2,
     "updates": 3,
     "views": 4,

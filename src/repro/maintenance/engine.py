@@ -62,6 +62,7 @@ from repro.maintenance.repair import (
     flip_lattice_repair,
     match_flips_to_pattern,
 )
+from repro.obs import NULL_OBS, Observability
 from repro.pattern.evaluate import Sources, filter_by_predicate
 from repro.pattern.tree_pattern import Pattern
 from repro.pattern.xquery import ViewDefinition
@@ -150,6 +151,71 @@ class PhaseTimes:
         return "PhaseTimes(%s)" % parts
 
 
+def aggregate_phase_seconds(phase_sets, base=0.0, exclude_find_targets=False):
+    """The one seconds-accounting rule shared by every report shape.
+
+    ``phase_sets`` yields :class:`PhaseTimes` instances or plain
+    ``phase -> seconds`` mappings (the bench harness rows).  ``base``
+    carries the report-level once-per-batch costs (net Δ construction,
+    parallel shard-round walls); ``exclude_find_targets`` drops the
+    shared target-resolution time, which the propagation metrics leave
+    out.  :class:`PropagationReport`, :class:`BatchReport` and
+    ``repro.bench.harness.BreakdownRow`` all sum through here, so their
+    totals cannot drift apart -- and because every phase credit also
+    lands in a trace span (see :class:`_PhaseTimer`), the summed spans
+    equal these totals too (pinned by a regression test).
+    """
+    total = base
+    for phases in phase_sets:
+        if isinstance(phases, PhaseTimes):
+            total += phases.total()
+            if exclude_find_targets:
+                total -= phases.find_target_nodes
+        else:
+            total += sum(phases.get(phase, 0.0) for phase in PHASES)
+            if exclude_find_targets:
+                total -= phases.get("find_target_nodes", 0.0)
+    return total
+
+
+class _PhaseTimer:
+    """One ``perf_counter`` interval, credited once, reported twice.
+
+    The interval is measured exactly once and the *same* float is added
+    to the :class:`PhaseTimes` slot and recorded as a ``phase`` span,
+    so the report's phase accounting and the trace can never disagree.
+    With the null tracer the span side is a no-op.
+    """
+
+    __slots__ = ("tracer", "phases", "phase", "view", "started")
+
+    def __init__(self, tracer, phases: PhaseTimes, phase: str, view: str) -> None:
+        self.tracer = tracer
+        self.phases = phases
+        self.phase = phase
+        self.view = view
+
+    def __enter__(self) -> "_PhaseTimer":
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _credit(
+            self.tracer,
+            self.phases,
+            self.phase,
+            time.perf_counter() - self.started,
+            self.view,
+        )
+        return False
+
+
+def _credit(tracer, phases: PhaseTimes, phase: str, seconds: float, view: str) -> None:
+    """Credit an already-measured interval to a phase slot and a span."""
+    setattr(phases, phase, getattr(phases, phase) + seconds)
+    tracer.record("phase", seconds, phase=phase, view=view)
+
+
 class ViewReport:
     """Outcome of propagating one update to one view."""
 
@@ -195,14 +261,16 @@ class PropagationReport:
         return self.view_reports[name]
 
     def total_maintenance_seconds(self) -> float:
-        return sum(report.phases.total() for report in self.view_reports.values())
+        return aggregate_phase_seconds(
+            report.phases for report in self.view_reports.values()
+        )
 
     def propagation_seconds(self) -> float:
         """Maintenance-phase seconds with the shared find-targets time
         excluded -- the metric the benchmarks compare across pipelines."""
-        return sum(
-            report.phases.total() - report.phases.find_target_nodes
-            for report in self.view_reports.values()
+        return aggregate_phase_seconds(
+            (report.phases for report in self.view_reports.values()),
+            exclude_find_targets=True,
         )
 
     def __repr__(self) -> str:
@@ -261,17 +329,19 @@ class BatchReport:
         return self.view_reports[name]
 
     def total_maintenance_seconds(self) -> float:
-        return self.net_effects_seconds + self.shard_seconds + sum(
-            report.phases.total() for report in self.view_reports.values()
+        return aggregate_phase_seconds(
+            (report.phases for report in self.view_reports.values()),
+            base=self.net_effects_seconds + self.shard_seconds,
         )
 
     def propagation_seconds(self) -> float:
         """Maintenance-phase seconds with the shared find-targets time
         excluded; the once-per-batch net Δ construction and the wall
         time of parallel shard rounds are each counted once."""
-        return self.net_effects_seconds + self.shard_seconds + sum(
-            report.phases.total() - report.phases.find_target_nodes
-            for report in self.view_reports.values()
+        return aggregate_phase_seconds(
+            (report.phases for report in self.view_reports.values()),
+            base=self.net_effects_seconds + self.shard_seconds,
+            exclude_find_targets=True,
         )
 
     def __repr__(self) -> str:
@@ -387,8 +457,32 @@ class MaintenanceEngine:
         workers: int = 0,
         shard_plan: "Union[None, int, ShardPlanner]" = None,
         sigma_repair: bool = True,
+        obs: Optional[Observability] = None,
     ):
         self.document = document
+        #: telemetry facade (:class:`repro.obs.Observability`); the
+        #: shared null default makes every instrumentation site a no-op.
+        self.obs = obs if obs is not None else NULL_OBS
+        metrics = self.obs.metrics
+        self._batches_counter = metrics.counter(
+            "repro_batches_total", "batches propagated through apply_batch"
+        )
+        self._statements_counter = metrics.counter(
+            "repro_statements_total", "statements applied (post-coalescing)"
+        )
+        self._coalesced_counter = metrics.counter(
+            "repro_coalesced_statements_total",
+            "statements merged away by batch coalescing",
+        )
+        self._fallbacks_counter = metrics.counter(
+            "repro_fallbacks_total", "whole-view recompute fallbacks", ("reason",)
+        )
+        self._repairs_counter = metrics.counter(
+            "repro_repairs_total", "sigma-flip repairs applied in place", ("view",)
+        )
+        self._propagation_histogram = metrics.histogram(
+            "repro_propagation_seconds", "per-batch view-side propagation seconds"
+        )
         self.prune_even_terms = prune_even_terms
         self.use_data_pruning = use_data_pruning
         self.use_id_pruning = use_id_pruning
@@ -545,11 +639,15 @@ class MaintenanceEngine:
     def apply_update(self, statement: UpdateStatement) -> PropagationReport:
         """Propagate one statement: document update + all views."""
         self._check_no_active_session()
-        if isinstance(statement, InsertUpdate):
-            return self._apply_insert(statement)
-        if isinstance(statement, DeleteUpdate):
-            return self._apply_delete(statement)
-        raise TypeError("unknown statement %r" % (statement,))
+        with self.obs.span("statement", name=statement.name):
+            if isinstance(statement, InsertUpdate):
+                report = self._apply_insert(statement)
+            elif isinstance(statement, DeleteUpdate):
+                report = self._apply_delete(statement)
+            else:
+                raise TypeError("unknown statement %r" % (statement,))
+        self._statements_counter.inc()
+        return report
 
     def _predicate_guard(
         self,
@@ -594,55 +692,57 @@ class MaintenanceEngine:
             for node in root.self_and_descendants()
         }
 
+        tracer = self.obs.tracer
         for name, registered in self.views.items():
             view_report = ViewReport(name)
             view_report.targets = len(target_ids)
-            view_report.phases.find_target_nodes = find_targets_seconds
+            _credit(
+                tracer, view_report.phases, "find_target_nodes",
+                find_targets_seconds, name,
+            )
             pattern = registered.pattern
 
             if self._predicate_guard(registered, view_report, watchlists[name]):
                 report.view_reports[name] = view_report
                 continue
 
-            started = time.perf_counter()
-            deltas = compute_delta_plus(pattern, applied.inserted_roots)
-            view_report.phases.compute_delta_tables = time.perf_counter() - started
+            with _PhaseTimer(tracer, view_report.phases, "compute_delta_tables", name):
+                deltas = compute_delta_plus(pattern, applied.inserted_roots)
             view_report.delta_sizes = {
                 node_name: len(rows) for node_name, rows in deltas.tables.items()
             }
 
-            started = time.perf_counter()
-            terms, developed = surviving_insert_terms(
-                pattern,
-                deltas,
-                target_ids,
-                self.use_data_pruning,
-                self.use_id_pruning,
-            )
-            view_report.phases.get_update_expression = time.perf_counter() - started
+            with _PhaseTimer(tracer, view_report.phases, "get_update_expression", name):
+                terms, developed = surviving_insert_terms(
+                    pattern,
+                    deltas,
+                    target_ids,
+                    self.use_data_pruning,
+                    self.use_id_pruning,
+                )
             view_report.terms_developed = developed
             view_report.terms_surviving = len(terms)
 
-            started = time.perf_counter()
-            view_report.tuples_modified = pimt(registered.view, self.document, target_ids)
-            r_sources = self._sources_excluding(pattern, inserted_ids)
-            view_report.derivations_added, view_report.term_eval_seconds = et_ins(
-                registered.view, terms, r_sources, deltas, registered.lattice
-            )
-            view_report.phases.execute_update = time.perf_counter() - started
+            with _PhaseTimer(tracer, view_report.phases, "execute_update", name):
+                view_report.tuples_modified = pimt(
+                    registered.view, self.document, target_ids
+                )
+                r_sources = self._sources_excluding(pattern, inserted_ids)
+                view_report.derivations_added, view_report.term_eval_seconds = et_ins(
+                    registered.view, terms, r_sources, deltas, registered.lattice
+                )
 
-            started = time.perf_counter()
-            additions = snowcap_additions(
-                pattern,
-                registered.lattice,
-                r_sources,
-                deltas,
-                target_ids,
-                self.use_data_pruning,
-                self.use_id_pruning,
-            )
-            registered.lattice.apply_insert_additions(additions)
-            view_report.phases.update_lattice = time.perf_counter() - started
+            with _PhaseTimer(tracer, view_report.phases, "update_lattice", name):
+                additions = snowcap_additions(
+                    pattern,
+                    registered.lattice,
+                    r_sources,
+                    deltas,
+                    target_ids,
+                    self.use_data_pruning,
+                    self.use_id_pruning,
+                )
+                registered.lattice.apply_insert_additions(additions)
 
             report.view_reports[name] = view_report
         return report
@@ -669,41 +769,44 @@ class MaintenanceEngine:
         }
 
         # Per-view term evaluation happens against the *old* document.
+        tracer = self.obs.tracer
         removals_by_view: Dict[str, Dict[tuple, int]] = {}
         for name, registered in self.views.items():
             view_report = ViewReport(name)
             view_report.targets = len(target_ids)
-            view_report.phases.find_target_nodes = find_targets_seconds
+            _credit(
+                tracer, view_report.phases, "find_target_nodes",
+                find_targets_seconds, name,
+            )
             pattern = registered.pattern
 
-            started = time.perf_counter()
-            deltas = compute_delta_minus(pattern, doomed)
-            view_report.phases.compute_delta_tables = time.perf_counter() - started
+            with _PhaseTimer(tracer, view_report.phases, "compute_delta_tables", name):
+                deltas = compute_delta_minus(pattern, doomed)
             view_report.delta_sizes = {
                 node_name: len(rows) for node_name, rows in deltas.tables.items()
             }
 
-            started = time.perf_counter()
-            terms, developed = surviving_delete_terms(
-                pattern,
-                deltas,
-                self.prune_even_terms,
-                self.use_data_pruning,
-                self.use_id_pruning,
-            )
-            view_report.phases.get_update_expression = time.perf_counter() - started
+            with _PhaseTimer(tracer, view_report.phases, "get_update_expression", name):
+                terms, developed = surviving_delete_terms(
+                    pattern,
+                    deltas,
+                    self.prune_even_terms,
+                    self.use_data_pruning,
+                    self.use_id_pruning,
+                )
             view_report.terms_developed = developed
             view_report.terms_surviving = len(terms)
 
-            started = time.perf_counter()
-            r_sources = self._sources_current(pattern)
-            removals, view_report.term_eval_seconds = et_del(
-                registered.view, terms, r_sources, deltas, registered.lattice
-            )
-            tuples_removed, derivations_removed = pddt_apply(registered.view, removals)
+            with _PhaseTimer(tracer, view_report.phases, "execute_update", name):
+                r_sources = self._sources_current(pattern)
+                removals, view_report.term_eval_seconds = et_del(
+                    registered.view, terms, r_sources, deltas, registered.lattice
+                )
+                tuples_removed, derivations_removed = pddt_apply(
+                    registered.view, removals
+                )
             view_report.tuples_removed = tuples_removed
             view_report.derivations_removed = derivations_removed
-            view_report.phases.execute_update = time.perf_counter() - started
 
             removals_by_view[name] = removals
             report.view_reports[name] = view_report
@@ -715,13 +818,13 @@ class MaintenanceEngine:
             view_report = report.view_reports[name]
             if self._predicate_guard(registered, view_report, watchlists[name]):
                 continue
-            started = time.perf_counter()
-            view_report.tuples_modified = pdmt(registered.view, self.document, target_ids)
-            view_report.phases.execute_update += time.perf_counter() - started
+            with _PhaseTimer(tracer, view_report.phases, "execute_update", name):
+                view_report.tuples_modified = pdmt(
+                    registered.view, self.document, target_ids
+                )
 
-            started = time.perf_counter()
-            registered.lattice.apply_delete(doomed_ids)
-            view_report.phases.update_lattice = time.perf_counter() - started
+            with _PhaseTimer(tracer, view_report.phases, "update_lattice", name):
+                registered.lattice.apply_delete(doomed_ids)
         return report
 
     # -- sequences (Section 5) ------------------------------------------------
@@ -780,13 +883,36 @@ class MaintenanceEngine:
         the final extents always equal sequential application.
         """
         self._check_no_active_session()
+        with self.obs.span("batch") as span:
+            report = self._apply_batch_impl(batch, workers, shard_plan)
+        if self.obs.enabled:
+            span.attrs["statements"] = report.statements_applied
+            span.attrs["workers"] = report.workers
+            self._batches_counter.inc()
+            self._statements_counter.inc(report.statements_applied)
+            self._coalesced_counter.inc(
+                report.statements_submitted - report.statements_applied
+            )
+            for info in report.fallbacks.values():
+                self._fallbacks_counter.inc(labels=(info["reason"],))
+            for name in report.repairs:
+                self._repairs_counter.inc(labels=(name,))
+            self._propagation_histogram.observe(report.propagation_seconds())
+        return report
+
+    def _apply_batch_impl(
+        self,
+        batch: "Union[UpdateBatch, Sequence[UpdateStatement]]",
+        workers: Optional[int],
+        shard_plan: "Union[None, int, ShardPlanner]",
+    ) -> BatchReport:
         backend = shard_backend()
         effective_workers = self.workers if workers is None else workers
         planner = backend.ShardPlanner.coerce(
             shard_plan if shard_plan is not None else self.shard_plan,
             effective_workers,
         )
-        executor = backend.ShardExecutor(effective_workers)
+        executor = backend.ShardExecutor(effective_workers, obs=self.obs)
         if isinstance(batch, UpdateBatch):
             submitted = len(batch)
             statements = batch.coalesced().statements
@@ -920,6 +1046,8 @@ class MaintenanceEngine:
         insert_target_ids = application.insert_target_ids
         delete_target_ids = application.delete_target_ids
         report.net_effects_seconds = time.perf_counter() - started
+        # Same float as the report field: trace and report stay equal.
+        self.obs.tracer.record("net_effects", report.net_effects_seconds)
 
         # Label-keyed source rows shared by every view this batch (the
         # per-view σ push-down happens on top of them).
@@ -995,13 +1123,17 @@ class MaintenanceEngine:
         """
         serial = not executor.parallel
         report.workers = executor.workers if executor.parallel else 0
+        tracer = self.obs.tracer
 
         contexts: List[_ViewRound] = []
         fallback_views: List[RegisteredView] = []
         for name, registered in self.views.items():
             view_report = ViewReport(name)
             view_report.targets = len(insert_target_ids) + len(delete_target_ids)
-            view_report.phases.find_target_nodes = application.find_targets_seconds
+            _credit(
+                tracer, view_report.phases, "find_target_nodes",
+                application.find_targets_seconds, name,
+            )
             report.view_reports[name] = view_report
             pattern = registered.pattern
 
@@ -1142,35 +1274,31 @@ class MaintenanceEngine:
             # per view per worker -- and the threaded fallback would
             # race on the shared cache dicts.
             if minus_units:
-                started = time.perf_counter()
                 for ctx in contexts:
                     if ctx.has_minus_unit:
-                        self._sources_pre_batch(
-                            ctx.registered.pattern,
-                            inserted_ids,
-                            inserted_labels,
-                            removed_candidates,
-                            pre_batch_cache,
-                            flips=set(ctx.flips) if ctx.flips else None,
-                        )
-                        ctx.report.phases.execute_update += (
-                            time.perf_counter() - started
-                        )
-                        started = time.perf_counter()
+                        with _PhaseTimer(
+                            tracer, ctx.report.phases, "execute_update", ctx.name
+                        ):
+                            self._sources_pre_batch(
+                                ctx.registered.pattern,
+                                inserted_ids,
+                                inserted_labels,
+                                removed_candidates,
+                                pre_batch_cache,
+                                flips=set(ctx.flips) if ctx.flips else None,
+                            )
             if plus_units or repair_units:
-                started = time.perf_counter()
                 for ctx in contexts:
                     if ctx.has_plus_unit or ctx.has_repair_unit:
-                        self._sources_excluding(
-                            ctx.registered.pattern,
-                            inserted_ids,
-                            cache=survivor_cache,
-                            excluded_labels=inserted_labels,
-                        )
-                        ctx.report.phases.execute_update += (
-                            time.perf_counter() - started
-                        )
-                        started = time.perf_counter()
+                        with _PhaseTimer(
+                            tracer, ctx.report.phases, "execute_update", ctx.name
+                        ):
+                            self._sources_excluding(
+                                ctx.registered.pattern,
+                                inserted_ids,
+                                cache=survivor_cache,
+                                excluded_labels=inserted_labels,
+                            )
 
         # -- execute: one round when the batch is insert-only, two when
         # a Δ− side must read the lattice before its doomed rows drop --
@@ -1181,11 +1309,10 @@ class MaintenanceEngine:
             self._apply_round_fragments(result, by_name, serial, report)
             for ctx in contexts:
                 if ctx.minus_live:
-                    started = time.perf_counter()
-                    ctx.registered.lattice.apply_batch(removed_ids, {})
-                    ctx.report.phases.update_lattice += (
-                        time.perf_counter() - started
-                    )
+                    with _PhaseTimer(
+                        tracer, ctx.report.phases, "update_lattice", ctx.name
+                    ):
+                        ctx.registered.lattice.apply_batch(removed_ids, {})
             round2_units = planner.order_units(plus_units + repair_units)
         else:
             round2_units = planner.order_units(
@@ -1204,27 +1331,26 @@ class MaintenanceEngine:
             lattice = ctx.registered.lattice
             if not lattice.materialized_sets():
                 continue
-            started = time.perf_counter()
-            r_sources = self._sources_excluding(
-                ctx.registered.pattern,
-                inserted_ids,
-                cache=survivor_cache,
-                excluded_labels=inserted_labels,
-            )
-            drops, flip_additions = flip_lattice_repair(
-                ctx.registered.pattern,
-                lattice,
-                ctx.minus_sets,
-                ctx.plus_sets,
-                r_sources,
-            )
-            dropped = lattice.apply_flip_repair(drops, flip_additions)
-            entry = report.repairs.setdefault(ctx.name, {})
-            entry["lattice_dropped"] = dropped
-            entry["lattice_added"] = sum(
-                len(relation.rows) for relation in flip_additions.values()
-            )
-            ctx.report.phases.update_lattice += time.perf_counter() - started
+            with _PhaseTimer(tracer, ctx.report.phases, "update_lattice", ctx.name):
+                r_sources = self._sources_excluding(
+                    ctx.registered.pattern,
+                    inserted_ids,
+                    cache=survivor_cache,
+                    excluded_labels=inserted_labels,
+                )
+                drops, flip_additions = flip_lattice_repair(
+                    ctx.registered.pattern,
+                    lattice,
+                    ctx.minus_sets,
+                    ctx.plus_sets,
+                    r_sources,
+                )
+                dropped = lattice.apply_flip_repair(drops, flip_additions)
+                entry = report.repairs.setdefault(ctx.name, {})
+                entry["lattice_dropped"] = dropped
+                entry["lattice_added"] = sum(
+                    len(relation.rows) for relation in flip_additions.values()
+                )
         # Snowcap rows are shipped as ID tuples only when the round will
         # really cross a process boundary; single-unit rounds run inline
         # (and thread rounds share memory), where the conversion plus
@@ -1251,22 +1377,22 @@ class MaintenanceEngine:
                 deltas = report.view_deltas.setdefault(ctx.name, {})
                 deltas["additions"] = ctx.additions
                 deltas["removals"] = ctx.removals
-            started = time.perf_counter()
-            added, tuples_removed, derivations_removed = (
-                ctx.registered.view.apply_batch_delta(ctx.additions, ctx.removals)
-            )
+            with _PhaseTimer(tracer, ctx.report.phases, "execute_update", ctx.name):
+                added, tuples_removed, derivations_removed = (
+                    ctx.registered.view.apply_batch_delta(ctx.additions, ctx.removals)
+                )
             ctx.report.derivations_added = added
             ctx.report.tuples_removed = tuples_removed
             ctx.report.derivations_removed = derivations_removed
-            ctx.report.phases.execute_update += time.perf_counter() - started
             if ctx.snowcap:
-                started = time.perf_counter()
-                lattice_additions = backend.resolve_snowcap_fragment(
-                    ctx.snowcap, self.document
-                )
-                if lattice_additions:
-                    ctx.registered.lattice.apply_batch(set(), lattice_additions)
-                ctx.report.phases.update_lattice += time.perf_counter() - started
+                with _PhaseTimer(
+                    tracer, ctx.report.phases, "update_lattice", ctx.name
+                ):
+                    lattice_additions = backend.resolve_snowcap_fragment(
+                        ctx.snowcap, self.document
+                    )
+                    if lattice_additions:
+                        ctx.registered.lattice.apply_batch(set(), lattice_additions)
 
     def _apply_round_fragments(
         self,
@@ -1277,6 +1403,7 @@ class MaintenanceEngine:
     ) -> None:
         """Merge one round's fragments into the per-view contexts."""
         backend = shard_backend()
+        tracer = self.obs.tracer
         for unit, fragment, seconds in zip(
             result.units, result.fragments, result.unit_seconds
         ):
@@ -1289,8 +1416,12 @@ class MaintenanceEngine:
                     ctx.registered.view, fragment
                 )
                 applied = time.perf_counter() - started
-                ctx.report.phases.execute_update += applied + (
-                    seconds if serial else 0.0
+                _credit(
+                    tracer,
+                    ctx.report.phases,
+                    "execute_update",
+                    applied + (seconds if serial else 0.0),
+                    ctx.name,
                 )
                 continue
             if unit.kind == "minus":
@@ -1319,9 +1450,8 @@ class MaintenanceEngine:
                 ctx.snowcap = snowcap_rows
             self._absorb_unit_stats(ctx.report, stats, seconds, serial)
 
-    @staticmethod
     def _absorb_unit_stats(
-        view_report: ViewReport, stats: "UnitStats", seconds: float, serial: bool
+        self, view_report: ViewReport, stats: "UnitStats", seconds: float, serial: bool
     ) -> None:
         """Fold a unit's counters (and, serially, its time) into the report.
 
@@ -1338,25 +1468,48 @@ class MaintenanceEngine:
         view_report.terms_surviving += stats.terms_surviving
         view_report.term_eval_seconds += stats.eval_seconds
         if serial:
+            tracer = self.obs.tracer
             phases = view_report.phases
-            phases.compute_delta_tables += stats.delta_seconds
-            phases.get_update_expression += stats.develop_seconds
-            phases.update_lattice += stats.snowcap_seconds
-            phases.execute_update += max(
-                0.0,
-                seconds
-                - stats.delta_seconds
-                - stats.develop_seconds
-                - stats.snowcap_seconds,
+            name = view_report.name
+            _credit(tracer, phases, "compute_delta_tables", stats.delta_seconds, name)
+            _credit(tracer, phases, "get_update_expression", stats.develop_seconds, name)
+            _credit(tracer, phases, "update_lattice", stats.snowcap_seconds, name)
+            _credit(
+                tracer,
+                phases,
+                "execute_update",
+                max(
+                    0.0,
+                    seconds
+                    - stats.delta_seconds
+                    - stats.develop_seconds
+                    - stats.snowcap_seconds,
+                ),
+                name,
             )
 
-    @staticmethod
-    def _absorb_round(report: BatchReport, result: "RoundResult", serial: bool) -> None:
+    def _absorb_round(
+        self, report: BatchReport, result: "RoundResult", serial: bool
+    ) -> None:
         if not result.units:
             return
         report.shard_rounds.append(result.describe())
         if not serial:
             report.shard_seconds += result.wall_seconds
+            # Same float as the shard_seconds increment; worker-side
+            # span trees (shipped as picklable fragments) are stitched
+            # back under the round span in unit order.
+            span = self.obs.tracer.record(
+                "shard_round",
+                result.wall_seconds,
+                mode=result.mode,
+                units=len(result.units),
+            )
+            fragments = getattr(result, "span_fragments", None)
+            if fragments and any(fragments):
+                self.obs.tracer.adopt(
+                    span, shard_backend().merge_span_fragments(fragments)
+                )
 
     def _prewarm_value_index(self, contexts: Sequence["_ViewRound"]) -> None:
         """Flush value-index dirty sets before fanning out.
@@ -1745,9 +1898,13 @@ class MaintenanceEngine:
                 started = time.perf_counter()
                 self._recompute(registered)
                 if report is not None and registered.name in report.view_reports:
-                    report.view_reports[
-                        registered.name
-                    ].phases.execute_update += time.perf_counter() - started
+                    _credit(
+                        self.obs.tracer,
+                        report.view_reports[registered.name].phases,
+                        "execute_update",
+                        time.perf_counter() - started,
+                        registered.name,
+                    )
             return
         backend = shard_backend()
         by_name = {registered.name: registered for registered in registered_views}
@@ -1791,6 +1948,10 @@ class BatchEngine:
     @property
     def workers(self) -> int:
         return self.engine.workers
+
+    @property
+    def obs(self) -> Observability:
+        return self.engine.obs
 
     @property
     def document(self) -> Document:

@@ -27,6 +27,7 @@ import threading
 import time
 from typing import List, Optional, Tuple
 
+from repro.obs import NULL_OBS
 from repro.updates.language import UpdateBatch, UpdateStatement
 
 
@@ -39,13 +40,16 @@ class ApplyTicket:
     re-raises the error that poisoned the batch.
     """
 
-    __slots__ = ("statement", "_event", "_report", "_error")
+    __slots__ = ("statement", "_event", "_report", "_error", "_enqueued")
 
     def __init__(self, statement: UpdateStatement):
         self.statement = statement
         self._event = threading.Event()
         self._report = None
         self._error: Optional[BaseException] = None
+        #: monotonic submission stamp feeding the enqueue-to-commit
+        #: latency histogram.
+        self._enqueued = time.perf_counter()
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -95,6 +99,7 @@ class ApplyQueue:
         flush_interval: float = 0.01,
         workers: Optional[int] = None,
         shard_plan=None,
+        obs=None,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -104,6 +109,28 @@ class ApplyQueue:
         if apply_batch is None:
             raise TypeError("engine %r has no apply_batch/apply" % (engine,))
         self._apply_batch = apply_batch
+        #: telemetry facade: explicit ``obs`` wins, else the engine's
+        #: own (so a queue over an instrumented engine shares one
+        #: registry), else the shared null facade.
+        self.obs = obs if obs is not None else getattr(engine, "obs", None) or NULL_OBS
+        metrics = self.obs.metrics
+        self._depth_gauge = metrics.gauge(
+            "repro_queue_depth", "statements submitted but not yet applied"
+        )
+        self._commit_histogram = metrics.histogram(
+            "repro_queue_commit_seconds",
+            "enqueue-to-commit latency per statement",
+        )
+        self._flushes_counter = metrics.counter(
+            "repro_queue_flushes_total", "explicit flush() calls"
+        )
+        self._poison_counter = metrics.counter(
+            "repro_queue_poison_batches_total",
+            "batches poisoned by a failing statement",
+        )
+        self._queue_batches_counter = metrics.counter(
+            "repro_queue_batches_total", "batches drained by the queue worker"
+        )
         #: kwargs forwarded to every apply_batch call; only populated
         #: when given, so engines without sharding options keep working.
         self._apply_options = {}
@@ -138,6 +165,7 @@ class ApplyQueue:
                 raise RuntimeError("queue is closed")
             self._pending.append(ticket)
             self._submitted += 1
+            self._depth_gauge.set(float(self._submitted - self._completed))
             self._wake.notify()
         return ticket
 
@@ -152,6 +180,7 @@ class ApplyQueue:
         with self._drained:
             target = self._submitted
             self._flush_upto = max(self._flush_upto, target)
+            self._flushes_counter.inc()
             self._wake.notify()
             if not self._drained.wait_for(
                 lambda: self._completed >= target, timeout
@@ -169,6 +198,12 @@ class ApplyQueue:
         self._worker.join(timeout)
         if self._worker.is_alive():
             raise TimeoutError("worker did not stop")
+        # The worker has stopped: every span it recorded is finished.
+        # When the obs has a JSONL sink, write them out now so a close()
+        # never strands buffered telemetry; without a sink the spans
+        # stay buffered for the caller's own drain.
+        if self.obs.trace_path is not None:
+            self.obs.flush()
 
     def __enter__(self) -> "ApplyQueue":
         return self
@@ -237,11 +272,17 @@ class ApplyQueue:
                 report = self._apply_batch(batch, **self._apply_options)
             except BaseException as exc:  # poison batch, keep worker alive
                 error = exc
+            if error is not None:
+                self._poison_counter.inc()
+            self._queue_batches_counter.inc()
+            committed = time.perf_counter()
             for ticket in tickets:
+                self._commit_histogram.observe(committed - ticket._enqueued)
                 ticket._resolve(report, error)
             with self._drained:
                 self._completed += len(tickets)
                 self._batches_applied += 1
+                self._depth_gauge.set(float(self._submitted - self._completed))
                 self._drained.notify_all()
 
     def __repr__(self) -> str:

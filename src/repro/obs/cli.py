@@ -1,0 +1,76 @@
+"""``python -m repro.obs`` -- summarize a captured JSON-lines trace.
+
+Examples::
+
+    python -m repro.obs benchmarks/out/trace.jsonl
+    python -m repro.obs benchmarks/out/trace.jsonl --format=json
+    python -m repro.obs benchmarks/out/trace.jsonl --format=markdown
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.obs.export import read_jsonl, render_summary, summarize
+
+__all__ = ["main", "render_markdown"]
+
+
+def render_markdown(records) -> str:
+    """GitHub-flavoured markdown summary (used for step summaries)."""
+    summary = summarize(records)
+    lines: List[str] = [
+        "**Trace**: %d spans, %d roots, %.3f ms propagation"
+        % (summary["spans"], summary["roots"], summary["propagation_seconds"] * 1e3),
+        "",
+        "| view | phase | ms | spans |",
+        "| --- | --- | ---: | ---: |",
+    ]
+    for view in sorted(summary["views"]):
+        for phase in sorted(summary["views"][view]):
+            cell = summary["views"][view][phase]
+            lines.append(
+                "| %s | %s | %.3f | %d |"
+                % (view, phase, cell["seconds"] * 1e3, cell["spans"])
+            )
+    if summary["workers"]:
+        lines.extend(["", "| worker | ms | spans |", "| --- | ---: | ---: |"])
+        for worker, cell in sorted(summary["workers"].items()):
+            lines.append(
+                "| %s | %.3f | %d |" % (worker, cell["seconds"] * 1e3, cell["spans"])
+            )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("trace", help="JSON-lines trace file written by repro.obs.export")
+    parser.add_argument(
+        "--format",
+        choices=("table", "json", "markdown"),
+        default="table",
+        help="output format (default: table)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        records = read_jsonl(args.trace)
+    except OSError as error:
+        print("cannot read %s: %s" % (args.trace, error), file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(summarize(records), indent=2, sort_keys=True))
+    elif args.format == "markdown":
+        print(render_markdown(records))
+    else:
+        print(render_summary(records))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

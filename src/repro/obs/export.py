@@ -1,0 +1,275 @@
+"""Exporters: JSON-lines traces, Prometheus text format, summaries.
+
+This module is the **only** place in the source tree allowed to read
+the wall clock (machine-checked by the ``obs-clock`` lint rule): spans
+and metrics are captured on monotonic clocks, and a human-meaningful
+timestamp is stamped once, here, at export time.
+"""
+
+from __future__ import annotations
+
+import datetime
+import io
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, TextIO, Union
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Span
+
+__all__ = [
+    "span_records",
+    "metric_records",
+    "write_jsonl",
+    "read_jsonl",
+    "prometheus_text",
+    "propagation_from_records",
+    "summarize",
+    "render_summary",
+]
+
+#: Span names that add up to ``BatchReport.propagation_seconds()`` --
+#: the engine records exactly these kinds, nothing else is summed.
+PROPAGATION_SPAN_NAMES = ("phase", "net_effects", "shard_round")
+
+
+def _captured_at() -> str:
+    return datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds")
+
+
+def span_records(spans: Sequence[Span]) -> List[Dict[str, Any]]:
+    """Flatten span trees to dict rows with preorder ids + parent ids."""
+    records: List[Dict[str, Any]] = []
+    next_id = 0
+    for root in spans:
+        stack: List[tuple] = [(root, None)]
+        while stack:
+            span, parent_id = stack.pop()
+            span_id = next_id
+            next_id += 1
+            records.append(
+                {
+                    "type": "span",
+                    "id": span_id,
+                    "parent": parent_id,
+                    "name": span.name,
+                    "start": span.start,
+                    "seconds": span.seconds,
+                    "attrs": dict(span.attrs),
+                }
+            )
+            for child in reversed(span.children):
+                stack.append((child, span_id))
+    return records
+
+
+def metric_records(registry: MetricsRegistry) -> List[Dict[str, Any]]:
+    """Flatten registry samples to dict rows (deterministic order)."""
+    records: List[Dict[str, Any]] = []
+    for instrument in registry.collect():
+        base = {
+            "type": "metric",
+            "kind": instrument.kind,
+            "name": instrument.name,
+            "labelnames": list(instrument.labelnames),
+        }
+        if isinstance(instrument, Histogram):
+            for labels, counts, total_sum, count in instrument.samples():
+                records.append(
+                    dict(
+                        base,
+                        labels=list(labels),
+                        buckets=list(instrument.buckets),
+                        counts=counts,
+                        sum=total_sum,
+                        count=count,
+                    )
+                )
+        elif isinstance(instrument, (Counter, Gauge)):
+            for labels, value in instrument.samples():
+                record = dict(base, labels=list(labels), value=value)
+                if isinstance(instrument, Gauge):
+                    record["max"] = instrument.max_value(labels)
+                records.append(record)
+    return records
+
+
+def write_jsonl(
+    target: Union[str, TextIO],
+    spans: Sequence[Span] = (),
+    registry: Optional[MetricsRegistry] = None,
+    append: bool = False,
+) -> int:
+    """Write a meta line, span rows and metric rows; returns row count."""
+    rows: List[Dict[str, Any]] = [
+        {"type": "meta", "captured_at": _captured_at(), "clock": "perf_counter"}
+    ]
+    rows.extend(span_records(spans))
+    if registry is not None:
+        rows.extend(metric_records(registry))
+    if isinstance(target, str):
+        with open(target, "a" if append else "w", encoding="utf-8") as handle:
+            for row in rows:
+                handle.write(json.dumps(row, sort_keys=True) + "\n")
+    else:
+        for row in rows:
+            target.write(json.dumps(row, sort_keys=True) + "\n")
+    return len(rows)
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_text(labelnames: Sequence[str], labels: Sequence[str]) -> str:
+    if not labelnames:
+        return ""
+    pairs = ",".join(
+        '%s="%s"' % (name, _escape_label(str(value)))
+        for name, value in zip(labelnames, labels)
+    )
+    return "{%s}" % pairs
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in Prometheus text exposition format 0.0.4."""
+    out = io.StringIO()
+    for instrument in registry.collect():
+        if instrument.help_text:
+            out.write("# HELP %s %s\n" % (instrument.name, instrument.help_text))
+        out.write("# TYPE %s %s\n" % (instrument.name, instrument.kind))
+        if isinstance(instrument, Histogram):
+            names = tuple(instrument.labelnames)
+            for labels, counts, total_sum, count in instrument.samples():
+                cumulative = 0
+                for bound, bucket_count in zip(instrument.buckets, counts):
+                    cumulative += bucket_count
+                    bucket_labels = _label_text(names + ("le",), tuple(labels) + (repr(bound),))
+                    out.write("%s_bucket%s %d\n" % (instrument.name, bucket_labels, cumulative))
+                cumulative += counts[-1]
+                inf_labels = _label_text(names + ("le",), tuple(labels) + ("+Inf",))
+                out.write("%s_bucket%s %d\n" % (instrument.name, inf_labels, cumulative))
+                plain = _label_text(names, labels)
+                out.write("%s_sum%s %s\n" % (instrument.name, plain, repr(total_sum)))
+                out.write("%s_count%s %d\n" % (instrument.name, plain, count))
+        else:
+            for labels, value in instrument.samples():
+                plain = _label_text(instrument.labelnames, labels)
+                out.write("%s%s %s\n" % (instrument.name, plain, _format_value(value)))
+    return out.getvalue()
+
+
+def _span_rows(records: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    return [record for record in records if record.get("type") == "span"]
+
+
+def propagation_from_records(records: Iterable[Dict[str, Any]]) -> float:
+    """Propagation seconds as the engine's reports define them, derived
+    purely from the trace: phase spans (minus ``find_target_nodes``,
+    which batch reports exclude) + net-effects + shard-round walls.
+    """
+    total = 0.0
+    for row in _span_rows(records):
+        name = row["name"]
+        if name not in PROPAGATION_SPAN_NAMES:
+            continue
+        if name == "phase" and row["attrs"].get("phase") == "find_target_nodes":
+            continue
+        total += row["seconds"]
+    return total
+
+
+def summarize(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate trace rows per view/phase, per phase, and per worker."""
+    rows = _span_rows(records)
+    views: Dict[str, Dict[str, Any]] = {}
+    phases: Dict[str, Dict[str, Any]] = {}
+    workers: Dict[str, Dict[str, Any]] = {}
+    roots = 0
+    for row in rows:
+        if row.get("parent") is None:
+            roots += 1
+        attrs = row.get("attrs", {})
+        seconds = row.get("seconds", 0.0)
+        if row["name"] == "phase":
+            phase = str(attrs.get("phase", "?"))
+            view = str(attrs.get("view", "?"))
+            view_bucket = views.setdefault(view, {})
+            cell = view_bucket.setdefault(phase, {"seconds": 0.0, "spans": 0})
+            cell["seconds"] += seconds
+            cell["spans"] += 1
+            total = phases.setdefault(phase, {"seconds": 0.0, "spans": 0})
+            total["seconds"] += seconds
+            total["spans"] += 1
+        if "worker" in attrs:
+            worker = str(attrs["worker"])
+            cell = workers.setdefault(worker, {"seconds": 0.0, "spans": 0})
+            if row["name"] in ("replica_apply", "unit"):
+                cell["seconds"] += seconds
+            cell["spans"] += 1
+    return {
+        "spans": len(rows),
+        "roots": roots,
+        "propagation_seconds": propagation_from_records(rows),
+        "views": views,
+        "phases": phases,
+        "workers": workers,
+    }
+
+
+def _table(header: Sequence[str], body: Sequence[Sequence[str]]) -> List[str]:
+    widths = [len(column) for column in header]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(cell.ljust(widths[i]) for i, cell in enumerate(header)).rstrip()]
+    for row in body:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip())
+    return lines
+
+
+def render_summary(records: Iterable[Dict[str, Any]]) -> str:
+    """Human-readable per-view/per-phase/per-worker summary table."""
+    summary = summarize(records)
+    lines: List[str] = [
+        "spans: %d (%d roots)  propagation: %.3f ms"
+        % (summary["spans"], summary["roots"], summary["propagation_seconds"] * 1e3)
+    ]
+    body = []
+    for view in sorted(summary["views"]):
+        for phase in sorted(summary["views"][view]):
+            cell = summary["views"][view][phase]
+            body.append([view, phase, "%.3f" % (cell["seconds"] * 1e3), str(cell["spans"])])
+    if body:
+        lines.append("")
+        lines.extend(_table(["view", "phase", "ms", "spans"], body))
+    body = [
+        [phase, "%.3f" % (cell["seconds"] * 1e3), str(cell["spans"])]
+        for phase, cell in sorted(summary["phases"].items())
+    ]
+    if body:
+        lines.append("")
+        lines.extend(_table(["phase", "ms", "spans"], body))
+    body = [
+        [worker, "%.3f" % (cell["seconds"] * 1e3), str(cell["spans"])]
+        for worker, cell in sorted(summary["workers"].items())
+    ]
+    if body:
+        lines.append("")
+        lines.extend(_table(["worker", "ms", "spans"], body))
+    return "\n".join(lines)

@@ -1,0 +1,319 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+Design constraints inherited from the propagation contract:
+
+* **Deterministic label sets.**  A metric declares its label *names* at
+  registration time; samples are keyed by label-*value* tuples and every
+  export walks metrics sorted by name and samples sorted by label
+  values, so two runs that observe the same values emit byte-identical
+  exposition text regardless of observation order.
+* **Nil-cost when disabled.**  :class:`NullRegistry` hands out shared
+  no-op instruments, so instrumented code can call ``counter.inc(...)``
+  unconditionally; the disabled path is a single attribute lookup plus
+  an empty method call.
+* **Monotonic clocks only.**  Nothing in this module reads a clock; all
+  durations are observed by callers holding ``perf_counter`` deltas.
+
+Thread-safety: instruments share their registry's lock.  ``ApplyQueue``
+observes from its worker thread while producers read gauges from the
+caller thread, so updates must not interleave mid read-modify-write.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram buckets (seconds): spans micro-benchmarks through
+#: multi-second shard rounds.  Upper bounds are inclusive; +Inf is
+#: implicit.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+LabelValues = Tuple[str, ...]
+
+
+def _coerce_labels(labelnames: Sequence[str], labels: Sequence[str]) -> LabelValues:
+    values = tuple(str(value) for value in labels)
+    if len(values) != len(labelnames):
+        raise ValueError(
+            "expected %d label value(s) %r, got %r"
+            % (len(labelnames), tuple(labelnames), values)
+        )
+    return values
+
+
+class _Instrument:
+    """Common bookkeeping for one named metric family."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        lock: threading.Lock,
+    ) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        self._lock = lock
+
+    def _key(self, labels: Sequence[str]) -> LabelValues:
+        return _coerce_labels(self.labelnames, labels)
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count, one cell per label-value tuple."""
+
+    kind = "counter"
+
+    def __init__(self, name, help_text, labelnames, lock) -> None:
+        super().__init__(name, help_text, labelnames, lock)
+        self._values: Dict[LabelValues, float] = {}
+
+    def inc(self, amount: float = 1.0, labels: Sequence[str] = ()) -> None:
+        if amount < 0:
+            raise ValueError("counter %s cannot decrease" % self.name)
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, labels: Sequence[str] = ()) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def samples(self) -> List[Tuple[LabelValues, float]]:
+        with self._lock:
+            return sorted(self._values.items())
+
+
+class Gauge(_Instrument):
+    """Point-in-time value; also tracks the high-water mark per cell."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help_text, labelnames, lock) -> None:
+        super().__init__(name, help_text, labelnames, lock)
+        self._values: Dict[LabelValues, float] = {}
+        self._max: Dict[LabelValues, float] = {}
+
+    def set(self, value: float, labels: Sequence[str] = ()) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+            if value > self._max.get(key, float("-inf")):
+                self._max[key] = float(value)
+
+    def add(self, amount: float, labels: Sequence[str] = ()) -> None:
+        key = self._key(labels)
+        with self._lock:
+            value = self._values.get(key, 0.0) + amount
+            self._values[key] = value
+            if value > self._max.get(key, float("-inf")):
+                self._max[key] = value
+
+    def value(self, labels: Sequence[str] = ()) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def max_value(self, labels: Sequence[str] = ()) -> float:
+        return self._max.get(self._key(labels), 0.0)
+
+    def samples(self) -> List[Tuple[LabelValues, float]]:
+        with self._lock:
+            return sorted(self._values.items())
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket histogram with quantile estimation.
+
+    Buckets are declared at registration time (never derived from the
+    data) so two runs observing the same values produce identical
+    exposition output.  :meth:`quantile` interpolates linearly inside
+    the bucket that crosses the requested rank, which is the standard
+    Prometheus-side estimate for ``histogram_quantile``.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name, help_text, labelnames, lock, buckets=DEFAULT_BUCKETS):
+        super().__init__(name, help_text, labelnames, lock)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram %s needs at least one bucket" % name)
+        self.buckets: Tuple[float, ...] = bounds
+        self._counts: Dict[LabelValues, List[int]] = {}
+        self._sums: Dict[LabelValues, float] = {}
+        self._totals: Dict[LabelValues, int] = {}
+
+    def observe(self, value: float, labels: Sequence[str] = ()) -> None:
+        key = self._key(labels)
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = [0] * (len(self.buckets) + 1)
+                self._counts[key] = counts
+            index = len(self.buckets)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    index = i
+                    break
+            counts[index] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + value
+            self._totals[key] = self._totals.get(key, 0) + 1
+
+    def count(self, labels: Sequence[str] = ()) -> int:
+        return self._totals.get(self._key(labels), 0)
+
+    def sum(self, labels: Sequence[str] = ()) -> float:
+        return self._sums.get(self._key(labels), 0.0)
+
+    def quantile(self, q: float, labels: Sequence[str] = ()) -> float:
+        """Estimated q-quantile (0 <= q <= 1) from bucket counts."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1], got %r" % (q,))
+        key = self._key(labels)
+        with self._lock:
+            counts = self._counts.get(key)
+            total = self._totals.get(key, 0)
+            if not counts or total == 0:
+                return 0.0
+            rank = q * total
+            seen = 0
+            for i, bucket_count in enumerate(counts):
+                if bucket_count == 0:
+                    continue
+                if seen + bucket_count >= rank:
+                    upper = self.buckets[i] if i < len(self.buckets) else self.buckets[-1]
+                    lower = self.buckets[i - 1] if 0 < i <= len(self.buckets) else 0.0
+                    fraction = (rank - seen) / bucket_count
+                    return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+                seen += bucket_count
+            return self.buckets[-1]
+
+    def samples(self) -> List[Tuple[LabelValues, List[int], float, int]]:
+        with self._lock:
+            return sorted(
+                (key, list(counts), self._sums.get(key, 0.0), self._totals.get(key, 0))
+                for key, counts in self._counts.items()
+            )
+
+
+class MetricsRegistry:
+    """Owns every instrument; registration is idempotent by name."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Instrument] = {}
+
+    def _register(self, cls, name, help_text, labelnames, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        "metric %r already registered as %s%r"
+                        % (name, existing.kind, existing.labelnames)
+                    )
+                return existing
+            instrument = cls(name, help_text, labelnames, self._lock, **kwargs)
+            self._metrics[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help_text: str = "", labelnames: Sequence[str] = ()) -> Counter:
+        return self._register(Counter, name, help_text, labelnames)
+
+    def gauge(self, name: str, help_text: str = "", labelnames: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help_text, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram, name, help_text, labelnames, buckets=tuple(buckets))
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        return self._metrics.get(name)
+
+    def collect(self) -> List[_Instrument]:
+        """Instruments sorted by name -- the deterministic export order."""
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+
+class _NullCounter(Counter):
+    def inc(self, amount: float = 1.0, labels: Sequence[str] = ()) -> None:
+        return None
+
+
+class _NullGauge(Gauge):
+    def set(self, value: float, labels: Sequence[str] = ()) -> None:
+        return None
+
+    def add(self, amount: float, labels: Sequence[str] = ()) -> None:
+        return None
+
+
+class _NullHistogram(Histogram):
+    def observe(self, value: float, labels: Sequence[str] = ()) -> None:
+        return None
+
+
+class NullRegistry(MetricsRegistry):
+    """No-op registry: shared inert instruments, nothing recorded."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        lock = self._lock
+        self._null_counter = _NullCounter("null", "", (), lock)
+        self._null_gauge = _NullGauge("null", "", (), lock)
+        self._null_histogram = _NullHistogram("null", "", (), lock)
+
+    def counter(self, name, help_text="", labelnames=()):
+        return self._null_counter
+
+    def gauge(self, name, help_text="", labelnames=()):
+        return self._null_gauge
+
+    def histogram(self, name, help_text="", labelnames=(), buckets=DEFAULT_BUCKETS):
+        return self._null_histogram
+
+    def collect(self):
+        return []
+
+
+#: Process-wide inert registry; the default for every engine.
+NULL_REGISTRY = NullRegistry()

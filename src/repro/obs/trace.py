@@ -1,0 +1,201 @@
+"""Structured tracing on monotonic clocks.
+
+A :class:`Span` is one timed interval with string-keyed attributes and
+nested children.  :class:`Tracer` keeps a *per-thread* open-span stack
+(``ApplyQueue`` records from its worker thread while callers read from
+theirs) and collects finished root spans into a shared buffer that
+:meth:`Tracer.drain` empties.
+
+Clock policy (machine-checked by the ``obs-clock`` lint rule): spans
+carry ``perf_counter`` readings only.  ``start`` values are offsets on
+the process-local monotonic clock -- meaningful for ordering and
+subtraction, never for wall-clock display; export-time timestamps are
+the business of :mod:`repro.obs.export` alone.
+
+Spans recorded inside forked workers cannot ride home through this
+class (tracers hold locks and thread-locals, both fork-hostile to
+pickle); workers flatten their trees into
+:class:`repro.obs.fragments.SpanFragment` rows instead and the owner
+re-attaches them with :meth:`Tracer.adopt`.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One finished or in-flight timed interval."""
+
+    __slots__ = ("name", "attrs", "start", "seconds", "children")
+
+    def __init__(
+        self,
+        name: str,
+        attrs: Optional[Dict[str, Any]] = None,
+        start: float = 0.0,
+        seconds: float = 0.0,
+    ) -> None:
+        self.name = name
+        self.attrs: Dict[str, Any] = attrs or {}
+        self.start = start
+        self.seconds = seconds
+        self.children: List["Span"] = []
+
+    def walk(self):
+        """Yield ``(span, depth)`` preorder -- the export order."""
+        stack = [(self, 0)]
+        while stack:
+            span, depth = stack.pop()
+            yield span, depth
+            for child in reversed(span.children):
+                stack.append((child, depth + 1))
+
+    def structure(self):
+        """Hashable shape ``(name, sorted attrs, child structures)``."""
+        return (
+            self.name,
+            tuple(sorted((str(k), str(v)) for k, v in self.attrs.items())),
+            tuple(child.structure() for child in self.children),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Span(%r, %.6fs, %d children)" % (self.name, self.seconds, len(self.children))
+
+
+class _SpanHandle:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    @property
+    def span(self) -> Span:
+        return self._span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._pop(self._span)
+        return False
+
+
+class Tracer:
+    """Collects span trees; open-span stacks are thread-local."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.finished: List[Span] = []
+
+    # -- stack plumbing -------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, span: Span) -> None:
+        span.start = perf_counter()
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.seconds = perf_counter() - span.start
+        stack = self._stack()
+        while stack and stack[-1] is not span:  # defensive: unwind leaks
+            stack.pop()
+        if stack:
+            stack.pop()
+        self._attach(span)
+
+    def _attach(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self.finished.append(span)
+
+    # -- public API -----------------------------------------------------
+    def span(self, name: str, /, **attrs: Any) -> _SpanHandle:
+        """Open a nested span: ``with tracer.span("batch", n=3): ...``"""
+        return _SpanHandle(self, Span(name, attrs))
+
+    def record(self, name: str, seconds: float, start: float = 0.0, /, **attrs: Any) -> Span:
+        """Attach an already-measured leaf span under the current parent.
+
+        This is the single-timing-source hook: callers measure one
+        ``perf_counter`` interval, credit it to their report fields and
+        hand the *same* float here, so report totals and trace sums can
+        never disagree.
+        """
+        span = Span(name, attrs, start=start, seconds=seconds)
+        self._attach(span)
+        return span
+
+    def adopt(self, parent: Span, children: Sequence[Span]) -> None:
+        """Graft stitched worker span trees under ``parent``."""
+        parent.children.extend(children)
+
+    def current(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def drain(self) -> List[Span]:
+        """Pop and return every finished root span."""
+        with self._lock:
+            finished, self.finished = self.finished, []
+        return finished
+
+
+class _NullHandle:
+    __slots__ = ()
+
+    span = None
+
+    def __enter__(self):
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = Span("null")
+_NULL_HANDLE = _NullHandle()
+
+
+class NullTracer(Tracer):
+    """Inert tracer: every call is a no-op returning shared husks."""
+
+    enabled = False
+
+    def span(self, name: str, /, **attrs: Any) -> _NullHandle:  # type: ignore[override]
+        return _NULL_HANDLE
+
+    def record(self, name: str, seconds: float, start: float = 0.0, /, **attrs: Any) -> Span:
+        return _NULL_SPAN
+
+    def adopt(self, parent: Span, children: Sequence[Span]) -> None:
+        return None
+
+    def current(self) -> Optional[Span]:
+        return None
+
+    def drain(self) -> List[Span]:
+        return []
+
+
+#: Process-wide inert tracer; the default for every engine.
+NULL_TRACER = NullTracer()

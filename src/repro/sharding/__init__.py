@@ -13,6 +13,7 @@ from repro.sharding.executor import RoundResult, ShardExecutor
 from repro.sharding.merge import (
     merge_addition_fragments,
     merge_embedding_fragments,
+    merge_span_fragments,
     resolve_snowcap_fragment,
 )
 from repro.sharding.planner import ShardPlanner, shard_of_label
@@ -55,6 +56,7 @@ __all__ = [
     "UnitStats",
     "merge_addition_fragments",
     "merge_embedding_fragments",
+    "merge_span_fragments",
     "resolve_snowcap_fragment",
     "shard_of_label",
 ]

@@ -36,10 +36,15 @@ import threading
 import time
 from typing import List, Optional, Sequence
 
+from repro.obs import NULL_OBS, SpanFragment
 from repro.sharding.units import ShardWorkUnit
 
 #: round state inherited by fork children (set only while dispatching).
 _ACTIVE_ROUND: Optional[Sequence[ShardWorkUnit]] = None
+#: whether the dispatching executor wants worker-side span fragments;
+#: published parent-side next to ``_ACTIVE_ROUND`` (fork children
+#: inherit it, thread workers read it -- never write it).
+_ACTIVE_OBS_ENABLED: bool = False
 #: serializes pooled rounds within one process: the round state is a
 #: module global (that is what fork children inherit), so two engines
 #: dispatching concurrently -- e.g. two ApplyQueues with workers>0 --
@@ -49,11 +54,30 @@ _ROUND_LOCK = threading.Lock()
 
 
 def _execute_indexed(index: int):
-    """Pool target: run one fork-inherited unit, return its fragment."""
+    """Pool target: run one fork-inherited unit, return its fragment.
+
+    The worker cannot ship a live tracer home (locks and thread-locals
+    do not pickle across the fork boundary), so when telemetry is on it
+    returns the unit's timing as a flat picklable
+    :class:`~repro.obs.SpanFragment` row; the owner stitches rows under
+    its shard-round span via ``sharding.merge.merge_span_fragments``.
+    """
     unit = _ACTIVE_ROUND[index]
     started = time.perf_counter()
     fragment = unit.execute()
-    return index, fragment, time.perf_counter() - started
+    seconds = time.perf_counter() - started
+    span_fragments = None
+    if _ACTIVE_OBS_ENABLED:
+        span_fragments = [
+            SpanFragment(
+                (0,),
+                "unit",
+                {"view": unit.view_name, "kind": unit.kind, "shard": unit.shard},
+                0.0,
+                seconds,
+            )
+        ]
+    return index, fragment, seconds, span_fragments
 
 
 def _fork_available() -> bool:
@@ -66,7 +90,14 @@ def _fork_available() -> bool:
 class RoundResult:
     """Fragments and timing of one executed round."""
 
-    __slots__ = ("fragments", "unit_seconds", "wall_seconds", "mode", "units")
+    __slots__ = (
+        "fragments",
+        "unit_seconds",
+        "wall_seconds",
+        "mode",
+        "units",
+        "span_fragments",
+    )
 
     def __init__(
         self,
@@ -75,12 +106,18 @@ class RoundResult:
         unit_seconds: List[float],
         wall_seconds: float,
         mode: str,
+        span_fragments: Optional[List] = None,
     ):
         self.units = list(units)
         self.fragments = fragments
         self.unit_seconds = unit_seconds
         self.wall_seconds = wall_seconds
         self.mode = mode
+        #: per-unit lists of :class:`~repro.obs.SpanFragment` (aligned
+        #: with ``units``; ``None`` entries when telemetry is off).
+        self.span_fragments = (
+            span_fragments if span_fragments is not None else [None] * len(self.units)
+        )
 
     @property
     def worker_seconds(self) -> float:
@@ -115,7 +152,7 @@ class RoundResult:
 class ShardExecutor:
     """Runs shard rounds serially or on a worker pool."""
 
-    def __init__(self, workers: int = 0, mode: Optional[str] = None):
+    def __init__(self, workers: int = 0, mode: Optional[str] = None, obs=None):
         if workers < 0:
             raise ValueError("workers must be >= 0, got %d" % workers)
         if mode not in (None, "serial", "fork", "thread"):
@@ -128,6 +165,12 @@ class ShardExecutor:
         elif mode == "fork" and not _fork_available():
             mode = "thread"
         self.mode = mode
+        self.obs = obs if obs is not None else NULL_OBS
+        self._spinup_histogram = self.obs.metrics.histogram(
+            "repro_pool_spinup_seconds",
+            "seconds from pool construction to a dispatch-ready pool",
+            ("mode",),
+        )
 
     @property
     def parallel(self) -> bool:
@@ -141,13 +184,22 @@ class ShardExecutor:
         # in parallel mode.  The round's recorded mode says so -- the
         # report must not claim a fan-out that never happened.
         if not self.parallel or len(units) == 1:
+            tracer = self.obs.tracer
             started = time.perf_counter()
             fragments: List = []
             unit_seconds: List[float] = []
             for unit in units:
                 unit_started = time.perf_counter()
                 fragments.append(unit.execute())
-                unit_seconds.append(time.perf_counter() - unit_started)
+                seconds = time.perf_counter() - unit_started
+                unit_seconds.append(seconds)
+                tracer.record(
+                    "unit",
+                    seconds,
+                    view=unit.view_name,
+                    kind=unit.kind,
+                    shard=unit.shard,
+                )
             wall = time.perf_counter() - started
             mode = "inline" if self.parallel else "serial"
             return RoundResult(units, fragments, unit_seconds, wall, mode)
@@ -158,48 +210,66 @@ class ShardExecutor:
     # -- pool modes ------------------------------------------------------
 
     def _run_fork(self, units: List[ShardWorkUnit]) -> RoundResult:
-        global _ACTIVE_ROUND
+        global _ACTIVE_ROUND, _ACTIVE_OBS_ENABLED
         context = multiprocessing.get_context("fork")
         processes = min(self.workers, len(units))
         started = time.perf_counter()
         with _ROUND_LOCK:
             _ACTIVE_ROUND = units
+            _ACTIVE_OBS_ENABLED = self.obs.enabled
             try:
+                spinup_started = time.perf_counter()
                 with context.Pool(processes=processes) as pool:
+                    spinup = time.perf_counter() - spinup_started
                     indexed = pool.map(
                         _execute_indexed, range(len(units)), chunksize=1
                     )
             finally:
                 _ACTIVE_ROUND = None
+                _ACTIVE_OBS_ENABLED = False
         wall = time.perf_counter() - started
+        self._record_spinup(spinup, "fork", processes)
         return self._collect(units, indexed, wall, "fork")
 
     def _run_thread(self, units: List[ShardWorkUnit]) -> RoundResult:
-        global _ACTIVE_ROUND
+        global _ACTIVE_ROUND, _ACTIVE_OBS_ENABLED
         from multiprocessing.dummy import Pool as ThreadPool
 
         processes = min(self.workers, len(units))
         started = time.perf_counter()
         with _ROUND_LOCK:
             _ACTIVE_ROUND = units
+            _ACTIVE_OBS_ENABLED = self.obs.enabled
             try:
+                spinup_started = time.perf_counter()
                 with ThreadPool(processes=processes) as pool:
+                    spinup = time.perf_counter() - spinup_started
                     indexed = pool.map(
                         _execute_indexed, range(len(units)), chunksize=1
                     )
             finally:
                 _ACTIVE_ROUND = None
+                _ACTIVE_OBS_ENABLED = False
         wall = time.perf_counter() - started
+        self._record_spinup(spinup, "thread", processes)
         return self._collect(units, indexed, wall, "thread")
+
+    def _record_spinup(self, seconds: float, mode: str, processes: int) -> None:
+        self._spinup_histogram.observe(seconds, labels=(mode,))
+        self.obs.tracer.record(
+            "pool_spinup", seconds, mode=mode, processes=processes
+        )
 
     @staticmethod
     def _collect(units, indexed, wall: float, mode: str) -> RoundResult:
         fragments: List = [None] * len(units)
         unit_seconds: List[float] = [0.0] * len(units)
-        for index, fragment, seconds in indexed:
+        span_fragments: List = [None] * len(units)
+        for index, fragment, seconds, unit_spans in indexed:
             fragments[index] = fragment
             unit_seconds[index] = seconds
-        return RoundResult(units, fragments, unit_seconds, wall, mode)
+            span_fragments[index] = unit_spans
+        return RoundResult(units, fragments, unit_seconds, wall, mode, span_fragments)
 
     def __repr__(self) -> str:
         return "ShardExecutor(workers=%d, mode=%s)" % (self.workers, self.mode)

@@ -113,3 +113,23 @@ def resolve_snowcap_fragment(
             rows.append(row)
         relations[subset] = Relation(schema, rows)
     return relations
+
+
+def merge_span_fragments(fragment_lists: Iterable) -> list:
+    """Stitch worker span fragments back into span trees.
+
+    ``fragment_lists`` yields per-source sequences of
+    :class:`~repro.obs.SpanFragment` (one per executed unit or session
+    worker, in the caller's deterministic order -- unit index resp.
+    worker index); ``None`` entries (telemetry off for that source) are
+    skipped.  Within each source the rebuild sorts by fragment ``path``,
+    so the stitched trees are independent of shipment order -- exactly
+    the property the extent mergers guarantee via their Dewey sort.
+    """
+    from repro.obs import fragments_to_spans
+
+    spans = []
+    for fragments in fragment_lists:
+        if fragments:
+            spans.extend(fragments_to_spans(fragments))
+    return spans

@@ -50,6 +50,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.sharding.merge import merge_span_fragments
 from repro.updates.language import UpdateBatch, UpdateStatement
 from repro.updates.pul import BatchApplication
 
@@ -64,10 +65,18 @@ def _canonical_row(row: tuple, canon: Dict[str, str]) -> tuple:
 
 def _session_worker_main(conn, owned_names: List[str]) -> None:
     """Worker loop: inherits the engine by fork, serves its views."""
+    from repro.obs import NULL_OBS, Observability, spans_to_fragments
+
     engine = _FORK_STATE["engine"]
     engine.views = {name: engine.views[name] for name in owned_names}
     engine.record_deltas = True
     engine.workers = 0
+    # The inherited obs is the owner's copy-on-write twin: spans drained
+    # here would never reach the owner.  Trace into a fresh worker-local
+    # tracer instead and ship each batch's tree home as picklable
+    # fragments (the owner stitches them under its replica_apply span).
+    ship_spans = engine.obs.enabled
+    engine.obs = Observability() if ship_spans else NULL_OBS
     conn.send(("ready", None))
     while True:
         try:
@@ -126,6 +135,11 @@ def _session_worker_main(conn, owned_names: List[str]) -> None:
                     # recomputed extent outright.
                     entry["content"] = engine.views[name].view.content()
                 payload[name] = entry
+            span_rows = None
+            if ship_spans:
+                drained = engine.obs.tracer.drain()
+                if drained:
+                    span_rows = spans_to_fragments(drained)
             conn.send(
                 (
                     "ok",
@@ -134,10 +148,13 @@ def _session_worker_main(conn, owned_names: List[str]) -> None:
                         "worker_wall_s": time.perf_counter() - started,
                         "apply_document_s": report.apply_document_seconds,
                         "propagation_s": report.propagation_seconds(),
+                        "spans": span_rows,
                     },
                 )
             )
         except BaseException as exc:  # ship the poison, stay alive
+            if ship_spans:
+                engine.obs.tracer.drain()  # don't let poison spans pile up
             try:
                 conn.send(("error", exc))
             except Exception:
@@ -158,10 +175,11 @@ class ShardSession:
     manager or call :meth:`close`.
     """
 
-    def __init__(self, engine, workers: int = 4, planner=None, weights=None):
+    def __init__(self, engine, workers: int = 4, planner=None, weights=None, obs=None):
         import multiprocessing
 
         from repro.maintenance.engine import BatchEngine, MaintenanceEngine
+        from repro.obs import NULL_OBS
         from repro.sharding.planner import ShardPlanner
 
         if isinstance(engine, BatchEngine):
@@ -190,6 +208,25 @@ class ShardSession:
         #: assignment (e.g. measured per-view propagation seconds from
         #: a profiling run); defaults to the extent+lattice size proxy.
         self.weights = dict(weights) if weights else None
+        #: telemetry facade: explicit ``obs`` wins, else the engine's
+        #: own (one registry across engine, queue and session), else the
+        #: shared null facade.
+        self.obs = obs if obs is not None else getattr(engine, "obs", None) or NULL_OBS
+        metrics = self.obs.metrics
+        self._makespan_gauge = metrics.gauge(
+            "repro_session_worker_makespan_seconds",
+            "per-batch wall seconds of each resident worker",
+            ("worker",),
+        )
+        self._skew_gauge = metrics.gauge(
+            "repro_session_skew_seconds",
+            "spread between the fastest and slowest party "
+            "(owner document apply and every worker) in one batch",
+        )
+        self._imbalance_gauge = metrics.gauge(
+            "repro_session_lpt_imbalance_ratio",
+            "max over mean planned worker load of the LPT view assignment",
+        )
         self._closed = False
         self._assignment = self._assign_views()
         context = multiprocessing.get_context("fork")
@@ -246,6 +283,8 @@ class ShardSession:
             slot = loads.index(min(loads))
             buckets[slot].append(name)
             loads[slot] += weight(name, registered)
+        mean_load = sum(loads) / len(loads)
+        self._imbalance_gauge.set(max(loads) / mean_load if mean_load else 1.0)
         return buckets
 
     @property
@@ -269,7 +308,7 @@ class ShardSession:
         deltas.  Returns a :class:`~repro.maintenance.engine.BatchReport`
         with ``mode`` visible via ``report.workers`` / ``shard_rounds``.
         """
-        from repro.maintenance.engine import BatchReport, ViewReport
+        from repro.maintenance.engine import BatchReport
 
         if self._closed:
             raise RuntimeError("shard session is closed")
@@ -285,8 +324,19 @@ class ShardSession:
         report.workers = self.workers
         if not statements:
             return report
+        with self.obs.span(
+            "session_batch", statements=len(statements), workers=self.workers
+        ):
+            return self._apply_statements(statements, report)
+
+    def _apply_statements(self, statements: List[UpdateStatement], report):
+        """One broadcast/apply/replay round under the session_batch span."""
+        from repro.maintenance.engine import ViewReport
+
+        tracer = self.obs.tracer
 
         def broadcast() -> None:
+            broadcast_started = time.perf_counter()
             for conn in self._connections:
                 try:
                     conn.send(statements)
@@ -296,6 +346,11 @@ class ShardSession:
                     # views are still consistent; shut down cleanly.
                     self.close(force=True)
                     raise RuntimeError("shard worker died") from exc
+            tracer.record(
+                "broadcast",
+                time.perf_counter() - broadcast_started,
+                workers=len(self._connections),
+            )
 
         started = time.perf_counter()
         if not self.sequential_send:
@@ -322,6 +377,7 @@ class ShardSession:
                 self._poison()
                 raise
         if owner_error is None:
+            tracer.record("owner_apply", application.apply_seconds)
             report.apply_document_seconds = application.apply_seconds
             report.pul_size = application.pul_size
             inserted = application.net_inserted_nodes()
@@ -337,7 +393,7 @@ class ShardSession:
         error: Optional[BaseException] = owner_error
         worker_died = False
         mixed_outcome = False
-        for conn in self._connections:
+        for worker_index, conn in enumerate(self._connections):
             try:
                 kind, payload = conn.recv()
             except EOFError:
@@ -354,6 +410,16 @@ class ShardSession:
             worker_walls.append(payload["worker_wall_s"])
             worker_props.append(payload["propagation_s"])
             worker_applies.append(payload["apply_document_s"])
+            self._makespan_gauge.set(
+                payload["worker_wall_s"], labels=(str(worker_index),)
+            )
+            replica_span = tracer.record(
+                "replica_apply", payload["worker_wall_s"], worker=worker_index
+            )
+            if payload.get("spans"):
+                tracer.adopt(
+                    replica_span, merge_span_fragments([payload["spans"]])
+                )
             if error is not None:
                 if owner_error is not None:
                     mixed_outcome = True  # worker applied what the owner could not
@@ -402,7 +468,9 @@ class ShardSession:
                 view_report.derivations_removed = (
                     derivations_removed - refresh_derivations
                 )
-            store_seconds += time.perf_counter() - store_started
+            replay_seconds = time.perf_counter() - store_started
+            store_seconds += replay_seconds
+            tracer.record("delta_replay", replay_seconds, worker=worker_index)
         if error is not None:
             if worker_died or mixed_outcome:
                 # Unrecoverable: a replica is gone or no longer agrees
@@ -418,6 +486,11 @@ class ShardSession:
             self._resync_extents()
             raise error
         finished = time.perf_counter()
+        if worker_walls:
+            # Balance telemetry: how far apart the batch's parties
+            # finished (owner document apply counted as one party).
+            parties = worker_walls + [applied_done - started]
+            self._skew_gauge.set(max(parties) - min(parties))
         # Time attributable to maintenance: everything past the owner's
         # own document apply, with the store replay counted in per-view
         # phases' stead (shard_seconds carries the wait + replay once).

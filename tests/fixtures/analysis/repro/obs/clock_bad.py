@@ -1,0 +1,15 @@
+"""Fixture: wall-clock reads inside repro.obs, outside export.py."""
+
+import datetime
+import time
+
+
+def stamp_span(span):
+    span.start = time.time()
+    span.captured = datetime.datetime.now()
+    return span
+
+
+def good_duration():
+    started = time.perf_counter()
+    return time.perf_counter() - started

@@ -1,0 +1,7 @@
+"""Fixture: ``obs/export.py`` alone may stamp wall-clock capture times."""
+
+import datetime
+
+
+def captured_at():
+    return datetime.datetime.now(datetime.timezone.utc).isoformat()

@@ -111,6 +111,18 @@ def test_fragment_fixture_fires():
     ) == [19, 23, 24]
 
 
+def test_obs_clock_fixture_fires():
+    findings = findings_for(fixture("obs", "clock_bad.py"))
+    assert [f.rule for f in findings] == ["obs-clock"] * 2
+    assert [f.line for f in findings] == [8, 9]
+    # det-wallclock defers to the obs-specific rule inside repro.obs
+    assert lines_for(fixture("obs", "clock_bad.py"), "det-wallclock") == []
+
+
+def test_obs_export_fixture_is_clean():
+    assert findings_for(fixture("obs", "export.py")) == []
+
+
 def test_layering_fixture_fires():
     findings = findings_for(fixture("maintenance", "layer_bad.py"))
     assert [f.rule for f in findings] == ["layer-upward-import"] * 3
