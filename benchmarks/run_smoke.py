@@ -58,6 +58,7 @@ REPEATS = 3
 SPEEDUP_FLOOR = 2.0
 BATCH_STREAM_LENGTH = 16
 CHURN_BATCHES = 8
+SESSION_BATCHES = 8
 FALLBACK_RATE_CEILING = 0.05
 OUT_PATH = os.path.join(os.path.dirname(__file__), "out", "BENCH_hotpath.json")
 TRACE_PATH = os.path.join(os.path.dirname(__file__), "out", "trace.jsonl")
@@ -263,6 +264,93 @@ def _collect_obs_metrics() -> dict:
     }
 
 
+def _collect_session_metrics() -> dict:
+    """Drive a short drift stream through a resident rebalancing
+    session and distill its telemetry: per-batch makespan skew, the
+    observed LPT imbalance high-water and the migrations the policy
+    executed.  Fork weights deliberately strand every non-Q1 view on
+    one worker (one heavy weight plus exact ties -- LPT parks
+    indistinguishable views together), so the drift stream forces the
+    policy to migrate within a few batches; extents are then verified
+    against a serial engine, covering the migration protocol's
+    identity in the smoke gate.
+    """
+    from repro.obs import Observability
+    from repro.sharding.rebalance import RebalancePolicy
+    from repro.workloads.drift import drift_batches, drift_phase_families
+
+    views = ("Q1", "Q2", "Q3", "Q4", "Q6")
+    _people, auctions, _regions = drift_phase_families()
+    batches = [
+        UpdateBatch(rows)
+        for rows in drift_batches(
+            generate_document(scale=SCALE),
+            SESSION_BATCHES,
+            batch_size=8,
+            seed=29,
+            families=[auctions],
+        )
+        if rows
+    ]
+    serial_doc = generate_document(scale=SCALE)
+    serial = MaintenanceEngine(serial_doc)
+    serial_views = {
+        name: serial.register_view(view_pattern(name), name) for name in views
+    }
+    for batch in batches:
+        serial.apply_batch(batch)
+
+    obs = Observability()
+    document = generate_document(scale=SCALE)
+    engine = MaintenanceEngine(document, obs=obs)
+    registered = {
+        name: engine.register_view(view_pattern(name), name) for name in views
+    }
+    weights = {name: 1e-9 for name in views}
+    weights["Q1"] = 1.0
+    policy = RebalancePolicy(
+        trigger_ratio=1.2,
+        target_ratio=1.1,
+        patience=1,
+        cooldown=0,
+        budget=4,
+        alpha=0.5,
+        ship_rows=50_000,
+    )
+    session = engine.session(workers=2, weights=weights, rebalance=policy)
+    try:
+        for batch in batches:
+            session.apply_batch(batch)
+    finally:
+        session.close()
+    for name in views:
+        if serial_views[name].view.content() != registered[name].view.content():
+            raise AssertionError(
+                "rebalancing session view %s diverged from serial" % name
+            )
+        if not registered[name].view.equals_fresh_evaluation(document):
+            raise AssertionError(
+                "rebalancing session view %s != fresh evaluation" % name
+            )
+    metrics = obs.metrics
+    return {
+        "session_batches": len(batches),
+        "session_skew_seconds": round(
+            metrics.get("repro_session_skew_seconds").max_value(), 6
+        ),
+        "lpt_imbalance_ratio": round(
+            metrics.get("repro_session_lpt_imbalance_ratio").value(), 4
+        ),
+        "lpt_imbalance_high_water": round(
+            metrics.get("repro_session_lpt_imbalance_ratio").max_value(), 4
+        ),
+        "migrations_total": int(
+            _counter_total(metrics.get("repro_session_migrations_total"))
+        ),
+        "extents_identical": True,
+    }
+
+
 def _write_step_summary(run: dict) -> None:
     """Append the gate metrics to the GitHub Actions job summary."""
     path = os.environ.get("GITHUB_STEP_SUMMARY")
@@ -290,6 +378,15 @@ def _write_step_summary(run: dict) -> None:
             run["metrics"]["propagation_p95_ms"],
         ),
         "| queue depth max | %d | recorded |" % run["metrics"]["queue_depth_max"],
+        "| session skew high-water | %.3f ms | recorded |"
+        % (run["metrics"]["session_skew_seconds"] * 1e3),
+        "| session imbalance ratio (last / high-water) | %.3f / %.3f | recorded |"
+        % (
+            run["metrics"]["lpt_imbalance_ratio"],
+            run["metrics"]["lpt_imbalance_high_water"],
+        ),
+        "| session migrations | %d | recorded |"
+        % run["metrics"]["migrations_total"],
         "| result | %s | |" % ("PASS" if run["passed"] else "FAIL"),
         "",
     ]
@@ -374,6 +471,7 @@ def main() -> int:
     batch_check = _check_batch_equivalence()
     fallback = _measure_fallback_rate()
     obs_metrics = _collect_obs_metrics()
+    obs_metrics.update(_collect_session_metrics())
     passed = (
         speedup >= SPEEDUP_FLOOR
         and batch_check["extents_identical"]
@@ -416,6 +514,17 @@ def main() -> int:
             obs_metrics["fallbacks_total"],
             obs_metrics["repairs_total"],
             obs_metrics["trace_path"],
+        )
+    )
+    print(
+        "rebalancing session over %d drift batches: skew high-water %.3fms  "
+        "imbalance %.3f (high-water %.3f)  migrations %d  extents identical"
+        % (
+            obs_metrics["session_batches"],
+            obs_metrics["session_skew_seconds"] * 1e3,
+            obs_metrics["lpt_imbalance_ratio"],
+            obs_metrics["lpt_imbalance_high_water"],
+            obs_metrics["migrations_total"],
         )
     )
     print(

@@ -626,14 +626,18 @@ class MaintenanceEngine:
                 "the session (or close it) instead"
             )
 
-    def session(self, workers: int = 4, planner=None, weights=None):
+    def session(self, workers: int = 4, planner=None, weights=None, rebalance=None):
         """A resident :class:`~repro.sharding.ShardSession` over this
         engine: fork-once replica workers maintaining the views batch
         by batch (pair with ``ApplyQueue(engine.session(...))`` for a
         streaming write path).  ``weights`` optionally gives relative
-        per-view maintenance costs for the worker assignment."""
+        per-view maintenance costs for the worker assignment;
+        ``rebalance`` (a ``RebalancePolicy``, or ``True`` for defaults)
+        lets the session migrate view ownership between workers when
+        the recorded per-view timings drift out of balance."""
         return shard_backend().ShardSession(
-            self, workers=workers, planner=planner, weights=weights
+            self, workers=workers, planner=planner, weights=weights,
+            rebalance=rebalance,
         )
 
     def apply_update(self, statement: UpdateStatement) -> PropagationReport:
@@ -1997,10 +2001,12 @@ class BatchEngine:
 
         return ApplyQueue(self, **options)
 
-    def session(self, workers: int = 4, planner=None, weights=None):
+    def session(self, workers: int = 4, planner=None, weights=None, rebalance=None):
         """A resident :class:`~repro.sharding.ShardSession` over the
         wrapped engine (see :meth:`MaintenanceEngine.session`)."""
-        return self.engine.session(workers=workers, planner=planner, weights=weights)
+        return self.engine.session(
+            workers=workers, planner=planner, weights=weights, rebalance=rebalance
+        )
 
     def __repr__(self) -> str:
         return "BatchEngine(%d views)" % len(self.engine.views)

@@ -7,16 +7,26 @@ process/thread pool (:mod:`repro.sharding.executor`) and reassembled
 deterministically (:mod:`repro.sharding.merge`) so sharded extents stay
 byte-identical to serial propagation.  Entry point:
 ``MaintenanceEngine.apply_batch(batch, workers=..., shard_plan=...)``.
+Resident view-sharded workers live in :mod:`repro.sharding.session`;
+their timing-driven adaptive rebalancing (EWMA cost model, hysteretic
+migration policy) in :mod:`repro.sharding.rebalance`.
 """
 
 from repro.sharding.executor import RoundResult, ShardExecutor
 from repro.sharding.merge import (
+    install_view_snapshot,
     merge_addition_fragments,
     merge_embedding_fragments,
     merge_span_fragments,
     resolve_snowcap_fragment,
 )
-from repro.sharding.planner import ShardPlanner, shard_of_label
+from repro.sharding.planner import (
+    ShardPlanner,
+    imbalance_ratio,
+    lpt_assignment,
+    shard_of_label,
+)
+from repro.sharding.rebalance import RebalancePolicy, ViewCostModel
 from repro.sharding.session import ShardSession
 from repro.sharding.units import (
     DeleteSideUnit,
@@ -27,6 +37,7 @@ from repro.sharding.units import (
     ShardWorkUnit,
     SigmaRepairUnit,
     UnitStats,
+    ViewSnapshotUnit,
 )
 
 # Dependency inversion: maintenance sits below sharding in the layer
@@ -46,6 +57,7 @@ __all__ = [
     "ExtentRecomputeUnit",
     "InsertSideUnit",
     "LatticeRecomputeUnit",
+    "RebalancePolicy",
     "RefreshUnit",
     "RoundResult",
     "ShardExecutor",
@@ -54,6 +66,11 @@ __all__ = [
     "ShardWorkUnit",
     "SigmaRepairUnit",
     "UnitStats",
+    "ViewCostModel",
+    "ViewSnapshotUnit",
+    "imbalance_ratio",
+    "install_view_snapshot",
+    "lpt_assignment",
     "merge_addition_fragments",
     "merge_embedding_fragments",
     "merge_span_fragments",

@@ -20,6 +20,12 @@ dict summed with the batch Δ+ fragments.  Sharded-recompute lattice
 fragments reuse :func:`resolve_snowcap_fragment` (identical
 ``(schema, ID rows)`` shape); extent-recompute fragments are already
 sorted pairs and install without a merge step (one unit per view).
+
+View-migration payloads -- ``{"pairs": ..., "lattice": ...}`` from a
+:class:`~repro.sharding.units.ViewSnapshotUnit` or the recompute-unit
+pair -- install through :func:`install_view_snapshot`, which rebuilds
+the extent from the pairs and re-resolves the snowcap rows against the
+adopting replica's document.
 """
 
 from __future__ import annotations
@@ -113,6 +119,32 @@ def resolve_snowcap_fragment(
             rows.append(row)
         relations[subset] = Relation(schema, rows)
     return relations
+
+
+def install_view_snapshot(registered, payload: Dict[str, object], document) -> None:
+    """Install a migrated view's state onto the adopting replica.
+
+    ``payload`` carries sorted ``(row, count)`` extent pairs under
+    ``"pairs"`` and a snowcap fragment (``{subset: (schema, ID rows)}``
+    or live relations) under ``"lattice"`` -- the shape produced both
+    by :class:`~repro.sharding.units.ViewSnapshotUnit` on the source
+    replica and by the :class:`ExtentRecomputeUnit`/
+    :class:`LatticeRecomputeUnit` pair run locally by the target.
+    Replica documents are byte-identical, so the shipped Dewey IDs
+    resolve on the adopter exactly as they did on the source; a miss
+    means the replicas diverged and :func:`resolve_snowcap_fragment`
+    fails loudly.
+    """
+    from repro.views.view import MaterializedView
+
+    fresh = MaterializedView.from_pairs(
+        registered.pattern, payload["pairs"], name=registered.name
+    )
+    registered.view._store = fresh._store
+    relations = resolve_snowcap_fragment(payload["lattice"], document)
+    registered.lattice._materialized.clear()
+    for subset, relation in relations.items():
+        registered.lattice.load_materialized(subset, relation)
 
 
 def merge_span_fragments(fragment_lists: Iterable) -> list:

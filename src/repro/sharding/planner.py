@@ -26,7 +26,10 @@ assignment of units to workers yields the same fragments; the shard
 anchor fixes a *deterministic* plan (stable unit order, stable
 ownership) on top of that freedom.  View-granular sharding across
 *resident* workers -- where each worker owns a view subset and its
-replica state -- lives in :class:`repro.sharding.session.ShardSession`.
+replica state -- lives in :class:`repro.sharding.session.ShardSession`;
+its view->worker partition (and the rebalance policy's re-planning of
+it) uses the module-level :func:`lpt_assignment`/:func:`imbalance_ratio`
+helpers here, so there is exactly one LPT implementation.
 """
 
 from __future__ import annotations
@@ -43,6 +46,43 @@ def shard_of_label(label: str, shards: int) -> int:
     if shards <= 1:
         return 0
     return zlib.crc32(label.encode("utf-8")) % shards
+
+
+def lpt_assignment(weights: Dict[str, float], workers: int) -> List[List[str]]:
+    """Deterministic LPT partition of weighted names across workers.
+
+    Names are placed heaviest-first (ties broken by name) into the
+    currently lightest bucket (ties broken by bucket index), the classic
+    longest-processing-time approximation whose makespan stays within
+    4/3 of the optimum.  Both the session's fork-time view assignment
+    and the rebalance policy's migration planning call this one
+    implementation, so a frozen plan and a re-planned one can never
+    disagree about what "balanced" means.
+    """
+    if workers < 1:
+        raise ValueError("need at least one worker, got %d" % workers)
+    buckets: List[List[str]] = [[] for _ in range(workers)]
+    loads = [0.0] * workers
+    for name in sorted(weights, key=lambda key: (-weights[key], key)):
+        slot = loads.index(min(loads))
+        buckets[slot].append(name)
+        loads[slot] += weights[name]
+    return buckets
+
+
+def imbalance_ratio(loads: Sequence[float]) -> float:
+    """Max over mean bucket load; 1.0 for an empty or all-zero plan.
+
+    The makespan quality metric shared by the session's
+    ``repro_session_lpt_imbalance_ratio`` gauge and the rebalance
+    policy's trigger/target thresholds: 1.0 is a perfectly level plan,
+    N means one worker carries everything.
+    """
+    loads = list(loads)
+    if not loads:
+        return 1.0
+    mean = sum(loads) / len(loads)
+    return max(loads) / mean if mean > 0.0 else 1.0
 
 
 class ShardPlanner:

@@ -43,6 +43,21 @@ stay in lockstep, and the session keeps serving subsequent batches.
 Only unrecoverable faults -- a dead worker, or a worker disagreeing
 with the owner about a batch's outcome -- restore the owner's views
 and close the session for good.
+
+Adaptive rebalancing (opt-in via ``rebalance=``): the per-view
+``maintenance_seconds`` each worker already ships feed a
+:class:`~repro.sharding.rebalance.RebalancePolicy`; when the observed
+imbalance ratio stays over its trigger long enough, the policy plans
+ownership moves and the session executes them at the next batch
+boundary *without re-forking*.  Every worker holds a byte-identical
+document replica (idle views stay registered, just unmaintained), so
+the target can rematerialize an adopted view against its own replica
+-- or install the source's shipped extent pairs + snowcap rows when
+the view is small -- through the same unit/merge machinery the
+fallback path uses; the source drops the view, and the owner's
+assignment map flips only after both sides acked.  Extents stay
+byte-identical to serial propagation throughout, and a failure
+mid-migration degrades exactly like a dead worker.
 """
 
 from __future__ import annotations
@@ -63,11 +78,76 @@ def _canonical_row(row: tuple, canon: Dict[str, str]) -> tuple:
     )
 
 
+def _serve_migration(engine, idle_views: Dict, message: tuple):
+    """Handle one ``migrate_out``/``migrate_in`` message on a worker.
+
+    Releasing a view moves it from the maintained set into the idle
+    stash (shipping its stored state when it fits the ship budget);
+    adopting pulls it back, installing the shipped snapshot or
+    rematerializing extent and snowcaps against this replica's own
+    document -- which is byte-identical to the source's, so either
+    route yields the same bytes.
+    """
+    from repro.sharding.merge import install_view_snapshot
+    from repro.sharding.units import (
+        ExtentRecomputeUnit,
+        LatticeRecomputeUnit,
+        ViewSnapshotUnit,
+    )
+
+    if message[0] == "migrate_out":
+        _tag, names, ship_rows = message
+        shipped: Dict[str, Optional[Dict]] = {}
+        for name in names:
+            registered = engine.views.pop(name)
+            idle_views[name] = registered
+            unit = ViewSnapshotUnit(name, 0, registered=registered)
+            shipped[name] = unit.execute()[0] if unit.size() <= ship_rows else None
+        return shipped
+    if message[0] == "migrate_in":
+        _tag, payloads = message
+        for name in sorted(payloads):
+            registered = idle_views.pop(name)
+            payload = payloads[name]
+            if payload is None:
+                pairs, _stats = ExtentRecomputeUnit(
+                    name,
+                    0,
+                    pattern=registered.pattern,
+                    document=engine.document,
+                    estimate=0,
+                ).execute()
+                fragment, _stats = LatticeRecomputeUnit(
+                    name,
+                    0,
+                    pattern=registered.pattern,
+                    document=engine.document,
+                    selected=registered.lattice.selected,
+                    estimate=0,
+                ).execute()
+                payload = {"pairs": pairs, "lattice": fragment}
+            install_view_snapshot(registered, payload, engine.document)
+            engine.views[name] = registered
+        return None
+    raise RuntimeError("unknown session control message %r" % (message[0],))
+
+
 def _session_worker_main(conn, owned_names: List[str]) -> None:
     """Worker loop: inherits the engine by fork, serves its views."""
     from repro.obs import NULL_OBS, Observability, spans_to_fragments
 
     engine = _FORK_STATE["engine"]
+    # Non-owned views stay resident in an idle stash instead of being
+    # dropped: a later migration may hand one over, and adoption reuses
+    # the registration (pattern, lattice selection) this replica
+    # already inherited.  Idle views are not maintained -- their
+    # extents and lattices go stale -- so adoption reinstalls both.
+    owned = set(owned_names)
+    idle_views = {
+        name: registered
+        for name, registered in engine.views.items()
+        if name not in owned
+    }
     engine.views = {name: engine.views[name] for name in owned_names}
     engine.record_deltas = True
     engine.workers = 0
@@ -85,6 +165,18 @@ def _session_worker_main(conn, owned_names: List[str]) -> None:
             break
         if message is None:
             break
+        if isinstance(message, tuple):
+            # Control message (migration); batches arrive as raw lists.
+            try:
+                reply = _serve_migration(engine, idle_views, message)
+            except BaseException as exc:
+                try:
+                    conn.send(("error", exc))
+                except Exception:
+                    conn.send(("error", RuntimeError(repr(exc))))
+                continue
+            conn.send(("ok", reply))
+            continue
         statements = message
         started = time.perf_counter()
         try:
@@ -175,12 +267,21 @@ class ShardSession:
     manager or call :meth:`close`.
     """
 
-    def __init__(self, engine, workers: int = 4, planner=None, weights=None, obs=None):
+    def __init__(
+        self,
+        engine,
+        workers: int = 4,
+        planner=None,
+        weights=None,
+        obs=None,
+        rebalance=None,
+    ):
         import multiprocessing
 
         from repro.maintenance.engine import BatchEngine, MaintenanceEngine
         from repro.obs import NULL_OBS
         from repro.sharding.planner import ShardPlanner
+        from repro.sharding.rebalance import RebalancePolicy
 
         if isinstance(engine, BatchEngine):
             engine = engine.engine
@@ -208,6 +309,15 @@ class ShardSession:
         #: assignment (e.g. measured per-view propagation seconds from
         #: a profiling run); defaults to the extent+lattice size proxy.
         self.weights = dict(weights) if weights else None
+        #: adaptive rebalancing policy (None keeps the fork-time
+        #: assignment frozen, today's default; True means defaults).
+        self.rebalance = RebalancePolicy.coerce(rebalance)
+        #: shipped-row budget of the migration protocol: a migrating
+        #: view at most this big travels as stored extent pairs +
+        #: snowcap rows, a bigger one is rematerialized by the target.
+        self.migration_ship_rows = (
+            self.rebalance.ship_rows if self.rebalance is not None else 4096
+        )
         #: telemetry facade: explicit ``obs`` wins, else the engine's
         #: own (one registry across engine, queue and session), else the
         #: shared null facade.
@@ -225,7 +335,13 @@ class ShardSession:
         )
         self._imbalance_gauge = metrics.gauge(
             "repro_session_lpt_imbalance_ratio",
-            "max over mean planned worker load of the LPT view assignment",
+            "max over mean worker load: planned at assignment time, "
+            "observed per batch from recorded view timings",
+        )
+        self._migrations_counter = metrics.counter(
+            "repro_session_migrations_total",
+            "view ownership moves executed by the migration protocol",
+            ("view",),
         )
         self._closed = False
         self._assignment = self._assign_views()
@@ -263,8 +379,11 @@ class ShardSession:
 
         The weight proxy is extent size plus materialized lattice rows:
         per-batch cost is dominated by the refresh scan (O(extent)) and
-        the term/snowcap work seeded from the lattice relations.
+        the term/snowcap work seeded from the lattice relations.  The
+        partition itself is the planner module's shared
+        :func:`~repro.sharding.planner.lpt_assignment`.
         """
+        from repro.sharding.planner import imbalance_ratio, lpt_assignment
 
         def weight(name, registered) -> float:
             if self.weights is not None and name in self.weights:
@@ -273,18 +392,13 @@ class ShardSession:
                 max(1, len(registered.view) + registered.lattice.stored_tuples())
             )
 
-        buckets: List[List[str]] = [[] for _ in range(self.workers)]
-        loads = [0.0] * self.workers
-        ordered = sorted(
-            self.engine.views.items(),
-            key=lambda item: (-weight(item[0], item[1]), item[0]),
-        )
-        for name, registered in ordered:
-            slot = loads.index(min(loads))
-            buckets[slot].append(name)
-            loads[slot] += weight(name, registered)
-        mean_load = sum(loads) / len(loads)
-        self._imbalance_gauge.set(max(loads) / mean_load if mean_load else 1.0)
+        weights = {
+            name: weight(name, registered)
+            for name, registered in self.engine.views.items()
+        }
+        buckets = lpt_assignment(weights, self.workers)
+        loads = [sum(weights[name] for name in owned) for owned in buckets]
+        self._imbalance_gauge.set(imbalance_ratio(loads))
         return buckets
 
     @property
@@ -389,6 +503,9 @@ class ShardSession:
         worker_walls: List[float] = []
         worker_props: List[float] = []
         worker_applies: List[float] = []
+        #: per-view maintenance seconds recorded by the owning workers
+        #: this batch -- the rebalance policy's only input.
+        batch_timings: Dict[str, float] = {}
         store_seconds = 0.0
         error: Optional[BaseException] = owner_error
         worker_died = False
@@ -434,6 +551,7 @@ class ShardSession:
                     view_report.terms_developed = stats["terms_developed"]
                     view_report.terms_surviving = stats["terms_surviving"]
                     view_report.term_eval_seconds = stats["term_eval_seconds"]
+                    batch_timings[name] = stats["maintenance_seconds"]
                 report.view_reports[name] = view_report
                 if entry.get("repairs"):
                     report.repairs[name] = entry["repairs"]
@@ -491,14 +609,46 @@ class ShardSession:
             # finished (owner document apply counted as one party).
             parties = worker_walls + [applied_done - started]
             self._skew_gauge.set(max(parties) - min(parties))
+        # Observed balance: the recorded per-view maintenance seconds
+        # grouped by the live assignment -- the same quantity the
+        # planned-LPT gauge approximated with its size proxy, now
+        # measured.  This (not wall clock) is what drives rebalancing.
+        observed_ratio = None
+        if batch_timings:
+            from repro.sharding.planner import imbalance_ratio
+
+            loads = [
+                sum(batch_timings.get(name, 0.0) for name in owned)
+                for owned in self._assignment
+            ]
+            observed_ratio = imbalance_ratio(loads)
+            self._imbalance_gauge.set(observed_ratio)
+        migrations: List[Dict] = []
+        migration_seconds = 0.0
+        if self.rebalance is not None and batch_timings:
+            moves = self.rebalance.observe(self._assignment, batch_timings)
+            if moves:
+                migration_started = time.perf_counter()
+                self._migrate(moves)
+                migration_seconds = time.perf_counter() - migration_started
+                migrations = [
+                    {"view": name, "source": source, "target": target}
+                    for name, source, target in moves
+                ]
         # Time attributable to maintenance: everything past the owner's
         # own document apply, with the store replay counted in per-view
-        # phases' stead (shard_seconds carries the wait + replay once).
-        report.shard_seconds = max(0.0, finished - applied_done)
+        # phases' stead (shard_seconds carries the wait + replay once);
+        # migration work is maintenance too, so it is charged here.
+        report.shard_seconds = max(0.0, finished - applied_done) + migration_seconds
         report.shard_rounds.append(
             {
                 "mode": "session",
                 "units": len(self._connections),
+                "imbalance_ratio": (
+                    None if observed_ratio is None else round(observed_ratio, 4)
+                ),
+                "migrations": migrations,
+                "migration_s": round(migration_seconds, 6),
                 "wall_s": round(finished - started, 6),
                 "worker_s": round(sum(worker_walls), 6),
                 "worker_propagation_s": round(sum(worker_props), 6),
@@ -520,6 +670,80 @@ class ShardSession:
 
     def apply(self, batch, **kwargs):
         return self.apply_batch(batch, **kwargs)
+
+    # -- view migration ---------------------------------------------------
+
+    def _migrate(self, moves: Sequence[Tuple[str, int, int]]) -> None:
+        """Move view ownership between resident workers (batch boundary).
+
+        ``moves`` is ``(view name, source worker, target worker)``
+        triples, normally planned by the rebalance policy.  Two
+        half-rounds: every source releases its outgoing views (shipping
+        stored state for views within ``migration_ship_rows``), then
+        every target adopts them -- installing the shipped snapshot or
+        rematerializing against its own replica.  The owner's
+        assignment map flips only after every ack, so a completed
+        migration is atomic with respect to batches; any failure
+        mid-protocol degrades exactly like a dead worker mid-batch
+        (recompute owner extents, close the session).
+        """
+        if not moves:
+            return
+        if self._closed:
+            raise RuntimeError("shard session is closed")
+        by_source: Dict[int, List[str]] = {}
+        by_target: Dict[int, List[str]] = {}
+        for name, source, target in moves:
+            if source == target:
+                raise ValueError("move of %r has source == target %d" % (name, source))
+            if name not in self._assignment[source]:
+                raise ValueError(
+                    "view %r is not owned by worker %d" % (name, source)
+                )
+            by_source.setdefault(source, []).append(name)
+            by_target.setdefault(target, []).append(name)
+        started = time.perf_counter()
+        shipped: Dict[str, Optional[Dict]] = {}
+        try:
+            with self.obs.span("session_migration", moves=len(moves)):
+                for source in sorted(by_source):
+                    self._connections[source].send(
+                        (
+                            "migrate_out",
+                            sorted(by_source[source]),
+                            self.migration_ship_rows,
+                        )
+                    )
+                for source in sorted(by_source):
+                    kind, reply = self._connections[source].recv()
+                    if kind != "ok":
+                        raise reply
+                    shipped.update(reply)
+                for target in sorted(by_target):
+                    self._connections[target].send(
+                        (
+                            "migrate_in",
+                            {name: shipped[name] for name in sorted(by_target[target])},
+                        )
+                    )
+                for target in sorted(by_target):
+                    kind, reply = self._connections[target].recv()
+                    if kind != "ok":
+                        raise reply
+        except BaseException as exc:
+            # A replica died or failed mid-protocol; ownership state
+            # across workers is no longer trustworthy.  Same degradation
+            # as a dead worker during a batch: restore the owner's views
+            # from its own document and shut the session down.
+            self._poison()
+            raise RuntimeError("shard worker died during migration") from exc
+        for name, source, target in moves:
+            self._assignment[source].remove(name)
+            self._assignment[target].append(name)
+            self._migrations_counter.inc(labels=(name,))
+        self.obs.tracer.record(
+            "view_migration", time.perf_counter() - started, moves=len(moves)
+        )
 
     @staticmethod
     def _replace_extent(registered, content) -> None:

@@ -33,6 +33,15 @@ Two more kinds serve the σ-flip repair and fallback paths:
   ship them back (extent rows directly, lattice rows as ID tuples), so
   even recomputation fans out instead of serializing on the owner.
 
+One kind serves the session's view-migration protocol:
+
+* :class:`ViewSnapshotUnit` -- reads one registered view's *stored*
+  extent pairs and materialized snowcap rows (no re-evaluation) into
+  the same picklable shape the recompute units produce, so a migrating
+  view can be shipped from its source replica and installed on the
+  target via :func:`repro.sharding.merge.install_view_snapshot` when
+  that is cheaper than rematerializing there.
+
 Mutation of views, stores and lattices never happens here -- fragments
 are applied by the engine on the owning process, which is what keeps
 sharded extents byte-identical to the serial path.
@@ -445,3 +454,47 @@ class LatticeRecomputeUnit(ShardWorkUnit):
             )
         stats.eval_seconds = time.perf_counter() - started
         return fragment, stats
+
+
+class ViewSnapshotUnit(ShardWorkUnit):
+    """Snapshot one registered view's stored state for migration.
+
+    Unlike the recompute units, nothing is re-evaluated: the extent
+    pairs come straight out of the store and the snowcap rows out of
+    the materialized relations, both already current on the source
+    replica.  The payload shape matches the recompute units' fragments
+    exactly -- sorted ``(row, count)`` pairs plus ``{subset: (schema,
+    ID rows)}`` -- so :func:`repro.sharding.merge.install_view_snapshot`
+    installs either indistinguishably.
+    """
+
+    kind = "snapshot"
+
+    def __init__(self, view_name: str, shard: int, *, registered, estimate: int = 0):
+        super().__init__(view_name, shard, (), estimate)
+        self.registered = registered
+
+    def size(self) -> int:
+        """Extent tuples plus materialized lattice rows -- the shipped
+        row count the migration ship-vs-recompute criterion compares
+        (identical on every replica, so the decision is too)."""
+        return len(self.registered.view) + self.registered.lattice.stored_tuples()
+
+    def execute(self) -> Tuple[Dict[str, object], UnitStats]:
+        stats = UnitStats()
+        stats.live = True
+        started = time.perf_counter()
+        lattice = self.registered.lattice
+        fragment = {}
+        for subset in lattice.materialized_sets():
+            relation = lattice.relation_for(subset)
+            fragment[subset] = (
+                relation.schema,
+                [tuple(cell.id for cell in row) for row in relation.rows],
+            )
+        payload = {
+            "pairs": self.registered.view.content(),
+            "lattice": fragment,
+        }
+        stats.eval_seconds = time.perf_counter() - started
+        return payload, stats

@@ -12,11 +12,16 @@
 * :mod:`repro.workloads.churn` -- adversarial mixed-churn batch
   streams (σ-value rewrites, insert-then-delete round-trips, dirty
   pairs) exercising the σ-flip repair and fallback paths.
+* :mod:`repro.workloads.drift` -- label-skew drift streams whose hot
+  update family rotates across phases (~95/4/1 hot/warm/cold shares),
+  the workload shape that defeats a frozen LPT view assignment and
+  exercises adaptive rebalancing.
 """
 
 from repro.workloads.xmark import generate_document, generate_xml, size_of
 from repro.workloads.queries import VIEW_TEXTS, view_definition, view_pattern
 from repro.workloads.churn import churn_batches, flip_candidates
+from repro.workloads.drift import drift_batches, drift_phase_families, phase_of
 from repro.workloads.updates import (
     UPDATE_CLASSES,
     UPDATE_TEXTS,
@@ -32,10 +37,13 @@ __all__ = [
     "VIEW_UPDATE_GROUPS",
     "churn_batches",
     "delete_variant",
+    "drift_batches",
+    "drift_phase_families",
     "flip_candidates",
     "generate_document",
     "generate_xml",
     "insert_update",
+    "phase_of",
     "size_of",
     "view_definition",
     "view_pattern",

@@ -1,0 +1,28 @@
+"""Fixture: a naive rebalancer with every habit the real one avoids.
+
+Migration decisions must replay from recorded timings alone, so the
+rule families all apply: det-wallclock (self-timed observation),
+det-random (random tie-break), det-set-iter (planning over a set of
+view names), det-hash-order (hash-picked target worker).
+"""
+
+import random
+import time
+
+
+def observe_cost(costs, name, started):
+    costs[name] = time.time() - started  # det-wallclock: self-timed
+
+
+def pick_target(name, worker_count):
+    return hash(name) % worker_count  # det-hash-order: seed-salted
+
+
+def plan_moves(view_names, loads):
+    overloaded = set(view_names)
+    moves = []
+    for name in overloaded:  # det-set-iter: plan order varies
+        source = loads.index(max(loads))
+        target = random.randrange(len(loads))  # det-random: unseeded
+        moves.append((name, source, target))
+    return moves

@@ -133,6 +133,27 @@ def test_clean_fixture_is_clean():
     assert findings_for(fixture("sharding", "clean_ok.py")) == []
 
 
+def test_rebalance_fixture_fires_across_families():
+    # A naive rebalancer trips one rule per habit the real policy
+    # avoids -- its decisions could not replay from recorded timings.
+    findings = findings_for(fixture("sharding", "rebalance_bad.py"))
+    assert [(f.rule, f.line) for f in findings] == [
+        ("det-wallclock", 14),
+        ("det-hash-order", 18),
+        ("det-set-iter", 24),
+        ("det-random", 26),
+    ]
+
+
+def test_rebalance_module_is_clean_without_suppressions():
+    import repro.sharding.rebalance as rebalance_module
+
+    path = rebalance_module.__file__
+    assert findings_for(path) == []
+    with open(path) as handle:
+        assert "repro-lint:" not in handle.read()  # zero suppressions
+
+
 # -- the real tree is clean (the CI gate in miniature) ------------------------
 
 
