@@ -80,6 +80,7 @@ RUN_KEYS = frozenset(
         "floor",
         "batch_equivalence",
         "fallback_rate",
+        "durability",
         "metrics",
         "passed",
     }
@@ -217,6 +218,52 @@ def _measure_fallback_rate() -> dict:
         "ceiling": FALLBACK_RATE_CEILING,
     }
 
+
+
+def _check_durability() -> dict:
+    """Smoke slice of the durability gate (the full crash matrix and
+    the timing gates live in ``bench_durability.py``): one SIGKILLed
+    crash point must recover to the uninterrupted run's digests, and a
+    cleanly closed database must reopen by adoption alone -- every
+    extent and lattice taken verbatim, nothing rematerialized."""
+    import tempfile
+
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "tests")
+    )
+    from harness import crashkit
+    from repro.storage.recovery import reopen
+
+    expected = crashkit.reference_digests()
+    with tempfile.TemporaryDirectory() as tmp:
+        crash_db = os.path.join(tmp, "smoke_crash.db")
+        status = crashkit.run_crashing_fork(crash_db, "serial", "mid_bulk_apply", 2)
+        sigkilled = crashkit.died_by_sigkill(status)
+        engine, report = crashkit.recover_and_finish(crash_db)
+        identical = (
+            crashkit.extent_digest(engine.views),
+            crashkit.lattice_digest(engine.views),
+        ) == expected
+        engine.backend.close()
+
+        clean_db = os.path.join(tmp, "smoke_clean.db")
+        crashkit.run_workload(clean_db, "serial").backend.close()
+        recovered, clean_report = reopen(
+            clean_db, crashkit.build_document(), crashkit.view_sources()
+        )
+        adopted = (
+            clean_report.lattices_rematerialized == 0
+            and crashkit.extent_digest(recovered.views) == expected[0]
+        )
+        recovered.backend.close()
+    return {
+        "crash_point": "mid_bulk_apply",
+        "sigkilled": sigkilled,
+        "replayed_batches": report.replayed_batches,
+        "recovered_identical": identical,
+        "clean_reopen_adopted": adopted,
+        "ok": sigkilled and identical and adopted,
+    }
 
 
 def _counter_total(counter) -> float:
@@ -372,6 +419,11 @@ def _write_step_summary(run: dict) -> None:
             if run["batch_equivalence"]["extents_identical"]
             else "DIVERGED"
         ),
+        "| crash recovery (%s) + clean reopen | %s | identical + adopted |"
+        % (
+            run["durability"]["crash_point"],
+            "OK" if run["durability"]["ok"] else "FAIL",
+        ),
         "| propagation p50 / p95 | %.3f / %.3f ms | recorded |"
         % (
             run["metrics"]["propagation_p50_ms"],
@@ -470,12 +522,14 @@ def main() -> int:
     speedup = total_recompute / total_propagation
     batch_check = _check_batch_equivalence()
     fallback = _measure_fallback_rate()
+    durability = _check_durability()
     obs_metrics = _collect_obs_metrics()
     obs_metrics.update(_collect_session_metrics())
     passed = (
         speedup >= SPEEDUP_FLOOR
         and batch_check["extents_identical"]
         and fallback["rate"] <= FALLBACK_RATE_CEILING
+        and durability["ok"]
     )
     run = {
         "git_sha": _git_sha(),
@@ -488,6 +542,7 @@ def main() -> int:
         "floor": SPEEDUP_FLOOR,
         "batch_equivalence": batch_check,
         "fallback_rate": fallback,
+        "durability": durability,
         "metrics": obs_metrics,
         "passed": passed,
     }
@@ -503,6 +558,18 @@ def main() -> int:
     print(
         "fallback rate %.3f over %d flip-bearing churn batches (ceiling %.2f)"
         % (fallback["rate"], fallback["flip_bearing_batches"], fallback["ceiling"])
+    )
+    print(
+        "durability: crash at %s sigkill=%s replayed=%d recovered=%s "
+        "clean-reopen-adopted=%s -> %s"
+        % (
+            durability["crash_point"],
+            durability["sigkilled"],
+            durability["replayed_batches"],
+            "IDENTICAL" if durability["recovered_identical"] else "DIVERGED",
+            durability["clean_reopen_adopted"],
+            "OK" if durability["ok"] else "FAIL",
+        )
     )
     print(
         "queued propagation p50 %.3fms  p95 %.3fms  queue depth max %d  "

@@ -265,11 +265,26 @@ class UnsafeCaptureRule(Rule):
         "lock/file/generator stored on an instance that may cross the "
         "fork or pickle boundary"
     )
-    packages = frozenset({"sharding"})
+    packages = frozenset({"sharding", "storage"})
+
+    #: defining any of these declares the class's boundary behaviour
+    #: explicitly (typically ``__getstate__`` raising TypeError so the
+    #: resource can never cross silently) -- the rule's concern is the
+    #: *silent* capture, so such classes are exempt.
+    _BOUNDARY_DUNDERS = frozenset(
+        {"__getstate__", "__reduce__", "__reduce_ex__"}
+    )
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
         for class_node in ast.walk(module.tree):
             if not isinstance(class_node, ast.ClassDef):
+                continue
+            declares_boundary = any(
+                isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and item.name in self._BOUNDARY_DUNDERS
+                for item in class_node.body
+            )
+            if declares_boundary:
                 continue
             for node in ast.walk(class_node):
                 if not isinstance(node, ast.Assign):
@@ -287,10 +302,12 @@ class UnsafeCaptureRule(Rule):
                     yield self.finding(
                         module,
                         node,
-                        "%s stored on an instance in class '%s'; objects in "
-                        "sharding/ cross the fork/pickle boundary -- keep such "
-                        "resources module-level in the parent or recreate them "
-                        "per process" % (problem, class_node.name),
+                        "%s stored on an instance in class '%s'; objects here "
+                        "cross the fork/pickle boundary -- keep such "
+                        "resources module-level in the parent, recreate them "
+                        "per process, or declare the boundary explicitly "
+                        "with a __getstate__ that refuses to pickle"
+                        % (problem, class_node.name),
                     )
 
     @staticmethod
@@ -309,4 +326,6 @@ class UnsafeCaptureRule(Rule):
             return "a %s" % name
         if name == "open":
             return "an open file handle"
+        if name == "sqlite3.connect" or name == "sqlite3.Connection":
+            return "a sqlite connection"
         return None

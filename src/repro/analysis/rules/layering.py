@@ -29,6 +29,7 @@ LAYER_RANKS = {
     "pattern": 2,
     "updates": 3,
     "views": 4,
+    "storage": 5,
     "schema": 5,
     "optimizer": 5,
     "workloads": 5,

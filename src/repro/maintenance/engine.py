@@ -63,6 +63,8 @@ from repro.maintenance.repair import (
     match_flips_to_pattern,
 )
 from repro.obs import NULL_OBS, Observability
+from repro.storage.recovery import register_engine_factory
+from repro.storage.sqlite import SqliteExtentBackend
 from repro.pattern.evaluate import Sources, filter_by_predicate
 from repro.pattern.tree_pattern import Pattern
 from repro.pattern.xquery import ViewDefinition
@@ -458,11 +460,21 @@ class MaintenanceEngine:
         shard_plan: "Union[None, int, ShardPlanner]" = None,
         sigma_repair: bool = True,
         obs: Optional[Observability] = None,
+        backend: "Union[None, str, SqliteExtentBackend]" = None,
     ):
         self.document = document
         #: telemetry facade (:class:`repro.obs.Observability`); the
         #: shared null default makes every instrumentation site a no-op.
         self.obs = obs if obs is not None else NULL_OBS
+        #: optional durable backend (:mod:`repro.storage`): extents in
+        #: sqlite tables, batches write-ahead logged at apply_batch
+        #: boundaries.  A string is taken as a database path.  ``None``
+        #: (the default) keeps the historical all-in-memory behaviour.
+        if isinstance(backend, str):
+            backend = SqliteExtentBackend(backend, obs=self.obs)
+        elif backend is not None:
+            backend.bind_obs(self.obs)
+        self.backend = backend
         metrics = self.obs.metrics
         self._batches_counter = metrics.counter(
             "repro_batches_total", "batches propagated through apply_batch"
@@ -540,16 +552,100 @@ class MaintenanceEngine:
         name = name or "view%d" % (len(self.views) + 1)
         if name in self.views:
             raise ValueError("a view named %r is already registered" % name)
-        view = MaterializedView.materialize(pattern, self.document, name=name)
+        view = MaterializedView.materialize(
+            pattern,
+            self.document,
+            name=name,
+            store_factory=(
+                self.backend.store_factory(name) if self.backend is not None else None
+            ),
+        )
         lattice = SnowcapLattice(pattern, strategy=strategy, update_profile=update_profile)
         lattice.materialize(self.document)
         registered = RegisteredView(name, view, lattice, definition)
         self.views[name] = registered
+        if self.backend is not None:
+            # Registration is durable at the current version: reopening
+            # before any batch adopts the freshly materialized extent.
+            self.backend.sync(self.views)
         return registered
+
+    def adopt_view(
+        self,
+        view_source: Union[Pattern, ViewDefinition, str],
+        name: str,
+        adopt_lattice: bool = True,
+        strategy: str = "snowcaps",
+        update_profile: Optional[Sequence[str]] = None,
+    ) -> bool:
+        """Recovery seam: install a view from the durable backend.
+
+        The extent is read verbatim from the view's sqlite table (no
+        pattern evaluation); the snowcap relations come from their
+        persisted snapshots when ``adopt_lattice`` is true and the
+        snapshots resolve against the document, and are rematerialized
+        otherwise.  Returns True when the lattice was adopted (i.e.
+        nothing had to be rematerialized).
+        """
+        self._check_no_active_session()
+        if self.backend is None:
+            raise RuntimeError("adopt_view needs a durable backend")
+        definition: Optional[ViewDefinition] = None
+        if isinstance(view_source, str):
+            from repro.pattern.xquery import parse_view
+
+            definition = parse_view(view_source)
+            pattern = definition.pattern
+        elif isinstance(view_source, ViewDefinition):
+            definition = view_source
+            pattern = definition.pattern
+        else:
+            pattern = view_source
+        if name in self.views:
+            raise ValueError("a view named %r is already registered" % name)
+        # Read the durable rows *before* building the view: the store
+        # factory registers the extent table on first use, which would
+        # turn "this view was never durable" (KeyError, caller's bug)
+        # into a silently empty extent.
+        content = self.backend.stored_extent_rows(name)
+        view = MaterializedView(
+            pattern, name=name, store_factory=self.backend.store_factory(name)
+        )
+        view._store.adopt_encoded(content)
+        lattice = SnowcapLattice(pattern, strategy=strategy, update_profile=update_profile)
+        adopted = False
+        if not lattice.selected:
+            adopted = True  # nothing materialized, nothing to rebuild
+        elif adopt_lattice:
+            try:
+                relations = self.backend.load_lattice(
+                    name, lattice.selected, self.document
+                )
+            except (KeyError, ValueError):
+                pass
+            else:
+                for subset, relation in relations.items():
+                    lattice.load_materialized(subset, relation)
+                self.backend.mark_lattice_adopted(name, lattice)
+                adopted = True
+        if not adopted and lattice.selected:
+            lattice.materialize(self.document)
+        registered = RegisteredView(name, view, lattice, definition)
+        self.views[name] = registered
+        return adopted
+
+    def sync_durability(self) -> None:
+        """Flush buffered extent ops and lattice snapshots (no-op
+        without a backend; ``ApplyQueue.close`` and session close call
+        this so a clean shutdown leaves nothing to replay)."""
+        if self.backend is not None:
+            self.backend.sync(self.views)
 
     def unregister_view(self, name: str) -> None:
         self._check_no_active_session()
         del self.views[name]
+        if self.backend is not None:
+            self.backend.drop_view(name)
 
     # -- source relations ---------------------------------------------------
 
@@ -643,15 +739,39 @@ class MaintenanceEngine:
     def apply_update(self, statement: UpdateStatement) -> PropagationReport:
         """Propagate one statement: document update + all views."""
         self._check_no_active_session()
-        with self.obs.span("statement", name=statement.name):
-            if isinstance(statement, InsertUpdate):
-                report = self._apply_insert(statement)
-            elif isinstance(statement, DeleteUpdate):
-                report = self._apply_delete(statement)
-            else:
-                raise TypeError("unknown statement %r" % (statement,))
+        batch_id = self._durability_begin([statement])
+        try:
+            with self.obs.span("statement", name=statement.name):
+                if isinstance(statement, InsertUpdate):
+                    report = self._apply_insert(statement)
+                elif isinstance(statement, DeleteUpdate):
+                    report = self._apply_delete(statement)
+                else:
+                    raise TypeError("unknown statement %r" % (statement,))
+        finally:
+            self._durability_commit(batch_id)
         self._statements_counter.inc()
         return report
+
+    def _durability_begin(self, statements: Sequence[UpdateStatement]):
+        """WAL the batch ahead of any application; None without a
+        backend (or in a forked child, whose writes the owner shards
+        back and logs itself)."""
+        if self.backend is None or not self.backend.writable:
+            return None
+        return self.backend.begin_batch(statements)
+
+    def _durability_commit(self, batch_id, include_lattices: bool = True) -> None:
+        """Seal the batch: commit marker + one sqlite txn.
+
+        Runs in a ``finally`` so even a raising (poison) batch commits
+        -- statement application is deterministic, so recovery replay
+        partial-applies it identically and the recomputed views match.
+        """
+        if batch_id is not None:
+            self.backend.commit_batch(
+                batch_id, self.views, include_lattices=include_lattices
+            )
 
     def _predicate_guard(
         self,
@@ -887,8 +1007,21 @@ class MaintenanceEngine:
         the final extents always equal sequential application.
         """
         self._check_no_active_session()
-        with self.obs.span("batch") as span:
-            report = self._apply_batch_impl(batch, workers, shard_plan)
+        batch_id = None
+        if self.backend is not None and self.backend.writable:
+            # The WAL payload is the coalesced statement list -- what
+            # the impl actually applies (coalesced() is idempotent, so
+            # computing it here too costs one cheap pass).
+            if isinstance(batch, UpdateBatch):
+                payload = batch.coalesced().statements
+            else:
+                payload = list(batch)
+            batch_id = self.backend.begin_batch(payload)
+        try:
+            with self.obs.span("batch") as span:
+                report = self._apply_batch_impl(batch, workers, shard_plan)
+        finally:
+            self._durability_commit(batch_id)
         if self.obs.enabled:
             span.attrs["statements"] = report.statements_applied
             span.attrs["workers"] = report.workers
@@ -1841,7 +1974,9 @@ class MaintenanceEngine:
         fresh = MaterializedView.materialize(
             registered.pattern, self.document, name=registered.name
         )
-        registered.view._store = fresh._store
+        # Content-level reload: the registered view keeps its store
+        # object (and, with a durable backend, its table binding).
+        registered.view.reload_content(fresh.content())
         registered.lattice.materialize(self.document)
 
     def _recompute_views(
@@ -1919,10 +2054,7 @@ class MaintenanceEngine:
             registered = by_name[unit.view_name]
             if unit.kind == "recompute_extent":
                 pairs, _stats = fragment
-                fresh = MaterializedView.from_pairs(
-                    registered.pattern, pairs, name=registered.name
-                )
-                registered.view._store = fresh._store
+                registered.view.reload_content(pairs)
             else:
                 rows, _stats = fragment
                 relations = backend.resolve_snowcap_fragment(rows, self.document)
@@ -1964,6 +2096,13 @@ class BatchEngine:
     @property
     def views(self) -> Dict[str, RegisteredView]:
         return self.engine.views
+
+    @property
+    def backend(self):
+        return self.engine.backend
+
+    def sync_durability(self) -> None:
+        self.engine.sync_durability()
 
     def register_view(self, *args, **kwargs) -> RegisteredView:
         return self.engine.register_view(*args, **kwargs)
@@ -2010,3 +2149,9 @@ class BatchEngine:
 
     def __repr__(self) -> str:
         return "BatchEngine(%d views)" % len(self.engine.views)
+
+
+# Dependency inversion for crash recovery: ``repro.storage`` sits below
+# this layer and cannot import it, so the engine class registers itself
+# as the factory ``repro.storage.recovery.reopen`` instantiates.
+register_engine_factory(MaintenanceEngine)

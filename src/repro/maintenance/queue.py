@@ -198,6 +198,12 @@ class ApplyQueue:
         self._worker.join(timeout)
         if self._worker.is_alive():
             raise TimeoutError("worker did not stop")
+        # Durable engines checkpoint on close: buffered extent ops and
+        # lattice snapshots land in sqlite so a clean shutdown leaves
+        # no WAL tail to replay.
+        sync = getattr(self.engine, "sync_durability", None)
+        if sync is not None:
+            sync()
         # The worker has stopped: every span it recorded is finished.
         # When the obs has a JSONL sink, write them out now so a close()
         # never strands buffered telemetry; without a sink the spans

@@ -438,10 +438,18 @@ class ShardSession:
         report.workers = self.workers
         if not statements:
             return report
-        with self.obs.span(
-            "session_batch", statements=len(statements), workers=self.workers
-        ):
-            return self._apply_statements(statements, report)
+        # Durable engines WAL the batch here too; lattice snapshots are
+        # skipped (the owner's lattices are stale while the session
+        # runs), so the persisted lattice_version lags and recovery
+        # rematerializes lattices only -- never extents.
+        batch_id = self.engine._durability_begin(statements)
+        try:
+            with self.obs.span(
+                "session_batch", statements=len(statements), workers=self.workers
+            ):
+                return self._apply_statements(statements, report)
+        finally:
+            self.engine._durability_commit(batch_id, include_lattices=False)
 
     def _apply_statements(self, statements: List[UpdateStatement], report):
         """One broadcast/apply/replay round under the session_batch span."""
@@ -747,12 +755,9 @@ class ShardSession:
 
     @staticmethod
     def _replace_extent(registered, content) -> None:
-        from repro.views.view import MaterializedView
-
-        fresh = MaterializedView.from_pairs(
-            registered.pattern, content, name=registered.name
-        )
-        registered.view._store = fresh._store
+        # Content-level reload keeps the store object (and its durable
+        # table binding, when the engine has a storage backend).
+        registered.view.reload_content(content)
 
     def _resync_extents(self) -> None:
         """Recompute every owner extent from the owner document."""
@@ -762,7 +767,7 @@ class ShardSession:
             fresh = MaterializedView.materialize(
                 registered.pattern, self.engine.document, name=registered.name
             )
-            registered.view._store = fresh._store
+            registered.view.reload_content(fresh.content())
 
     def _poison(self) -> None:
         """Restore owner views by recomputation, then shut down."""
@@ -797,6 +802,12 @@ class ShardSession:
         for registered in self.engine.views.values():
             registered.lattice.materialize(self.engine.document)
         self.engine._shard_session_active = False
+        # With a durable backend, checkpoint the re-materialized
+        # lattices (and any buffered extent ops) so the persisted
+        # lattice_version catches back up to the batch version.
+        sync = getattr(self.engine, "sync_durability", None)
+        if sync is not None:
+            sync()
 
     def __enter__(self) -> "ShardSession":
         return self

@@ -1,0 +1,199 @@
+"""Crash recovery: reopen a durable engine from its database + WAL.
+
+The commit protocol (:mod:`repro.storage.sqlite`) guarantees that after
+any process death the sqlite version ``V`` and the WAL's last committed
+batch ``C`` satisfy ``V in {C-1, C}``.  :func:`reopen` therefore never
+rematerializes a view whose extent tables are intact:
+
+1. scan the WAL, truncate the torn tail (a record whose header,
+   payload or checksum did not survive) *and* any intact-but-
+   uncommitted suffix -- exactly the writes the crashed process never
+   acknowledged, never a committed batch;
+2. rebuild the document by replaying the committed statement payloads
+   ``1..V`` (pure document application, no view work);
+3. adopt every view: extent rows straight from its sqlite table,
+   lattices from their persisted snapshots when they are fresh
+   (``lattice_version == V``; a ShardSession leaves them stale on
+   purpose, in which case only the lattices are rematerialized);
+4. replay the WAL tail ``V+1..C`` -- at most one batch -- through the
+   full engine, with the backend in replay mode so nothing is
+   re-appended to the WAL.
+
+Layering: this module sits *below* ``repro.maintenance`` and never
+imports it; the engine class plugs itself in at import time through
+:func:`register_engine_factory` (the same dependency inversion the
+shard backend uses), wired by the ``repro`` aggregator ``__init__``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.obs import NULL_OBS
+from repro.storage.sqlite import SqliteExtentBackend, wal_path
+from repro.storage.wal import COMMIT, HEADER_SIZE, BatchWal
+from repro.updates.pul import BatchApplication
+
+#: the maintenance-engine class, registered at import time by
+#: ``repro.maintenance.engine`` (dependency inversion: storage must not
+#: import maintenance).
+_ENGINE_FACTORY: List[Any] = [None]
+
+
+def register_engine_factory(factory) -> None:
+    """Install the engine class :func:`reopen` instantiates."""
+    _ENGINE_FACTORY[0] = factory
+
+
+class RecoveryError(Exception):
+    """The database and WAL tell irreconcilable stories."""
+
+
+@dataclass
+class RecoveryReport:
+    """What :func:`reopen` found and did, for callers and tests."""
+
+    path: str
+    last_committed_batch: int = 0
+    durable_version: int = 0
+    lattice_version: int = 0
+    replayed_batches: int = 0
+    truncated_bytes: int = 0
+    torn_reason: Optional[str] = None
+    views: List[str] = field(default_factory=list)
+    lattices_rematerialized: int = 0
+    wal_records: int = 0
+
+    def __repr__(self) -> str:
+        return (
+            "RecoveryReport(C=%d, V=%d, replayed=%d, truncated=%dB%s, "
+            "%d views, %d lattices rematerialized)"
+            % (
+                self.last_committed_batch,
+                self.durable_version,
+                self.replayed_batches,
+                self.truncated_bytes,
+                ", torn: %s" % self.torn_reason if self.torn_reason else "",
+                len(self.views),
+                self.lattices_rematerialized,
+            )
+        )
+
+
+def _truncate_uncommitted(path: str, records, last_committed: int) -> Tuple[list, int]:
+    """Drop intact records past the last committed batch's marker.
+
+    A crash between the DATA record and the COMMIT marker leaves an
+    intact-but-uncommitted suffix that scan() parses cleanly; keeping
+    it would make the next live batch re-append the same batch ID.
+    Returns the retained records and the bytes removed.
+    """
+    # Records are strictly sequential (DATA(k) COMMIT(k) DATA(k+1) ...),
+    # so everything up to and including COMMIT(last_committed) is the
+    # committed prefix and everything after it is unacknowledged.
+    kept: list = []
+    end = 0
+    for record in records:
+        kept.append(record)
+        end = record.offset + HEADER_SIZE + len(record.payload)
+        if record.kind == COMMIT and record.batch_id == last_committed:
+            break
+    if last_committed == 0:
+        kept, end = [], 0
+    removed = 0
+    if os.path.exists(path) and os.path.getsize(path) > end:
+        removed = BatchWal.truncate(path, end)
+    return kept, removed
+
+
+def reopen(
+    path: str,
+    document,
+    views: Mapping[str, Any],
+    *,
+    obs=None,
+    engine_options: Optional[Dict[str, Any]] = None,
+    view_options: Optional[Dict[str, Dict[str, Any]]] = None,
+):
+    """Recover a durable engine: ``(engine, RecoveryReport)``.
+
+    ``document`` is the *base* document the original engine was built
+    over (recovery replays the committed batches onto it); ``views``
+    maps view names to their sources (pattern / definition / XQuery
+    text), exactly as passed to ``register_view`` originally;
+    ``view_options`` optionally carries per-view ``strategy`` /
+    ``update_profile`` keyword arguments.
+    """
+    factory = _ENGINE_FACTORY[0]
+    if factory is None:
+        raise RecoveryError(
+            "no engine factory registered; import repro (or "
+            "repro.maintenance) before calling reopen"
+        )
+    obs = obs if obs is not None else NULL_OBS
+    replayed_counter = obs.metrics.counter(
+        "repro_recovery_replayed_batches",
+        "WAL tail batches replayed through the engine on reopen",
+    )
+    report = RecoveryReport(path=path)
+    with obs.span("recovery"):
+        log = wal_path(path)
+        records, torn = BatchWal.scan(log)
+        if torn is not None:
+            report.torn_reason = torn.reason
+            report.truncated_bytes += BatchWal.truncate(log, torn.offset)
+        try:
+            batches, last_committed = BatchWal.committed_statements(records)
+        except ValueError as exc:
+            raise RecoveryError(str(exc)) from exc
+        records, removed = _truncate_uncommitted(log, records, last_committed)
+        report.truncated_bytes += removed
+        report.wal_records = len(records)
+        report.last_committed_batch = last_committed
+
+        backend = SqliteExtentBackend(path, obs=obs)
+        version = backend.version
+        report.durable_version = version
+        report.lattice_version = backend.lattice_version
+        if version > last_committed:
+            raise RecoveryError(
+                "database version %d is ahead of the WAL's last committed "
+                "batch %d; the log is not this database's" % (version, last_committed)
+            )
+
+        # Phase 2: document replay.  Statement application is
+        # deterministic, poison batches included: a batch that raised
+        # originally partial-applies identically here (the engine
+        # commits even failing batches for exactly this reason).
+        for batch_id in range(1, version + 1):
+            try:
+                BatchApplication(document, batches[batch_id]).apply()
+            except Exception:
+                pass
+
+        # Phase 3: adoption.  Extents come from the tables verbatim;
+        # lattices from their snapshots only when durably fresh.
+        engine = factory(document, backend=backend, obs=obs, **(engine_options or {}))
+        lattices_fresh = report.lattice_version == version
+        for name, source in views.items():
+            options = dict(view_options.get(name, {})) if view_options else {}
+            adopted = engine.adopt_view(
+                source, name=name, adopt_lattice=lattices_fresh, **options
+            )
+            report.views.append(name)
+            if not adopted:
+                report.lattices_rematerialized += 1
+
+        # Phase 4: WAL tail replay (at most one batch under the commit
+        # protocol) through the full engine, WAL appends suppressed.
+        backend.begin_replay(last_committed)
+        for batch_id in range(version + 1, last_committed + 1):
+            try:
+                engine.apply_batch(batches[batch_id])
+            except Exception:
+                pass
+            report.replayed_batches += 1
+            replayed_counter.inc()
+    return engine, report

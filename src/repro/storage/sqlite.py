@@ -1,0 +1,611 @@
+"""Sqlite-backed extent storage behind the ``OrderedTupleStore`` contract.
+
+Two classes split the work:
+
+* :class:`SqliteTupleStore` -- one view extent.  It *is* an
+  :class:`~repro.views.store.OrderedTupleStore` (the in-memory mirror
+  serves every read, bisecting over memcomparable key blobs), and every
+  write is additionally journaled as a pending row operation against
+  the extent's table.  Reads therefore cost exactly what the in-memory
+  backend costs; the durable side is paid once per batch.
+* :class:`SqliteExtentBackend` -- one engine's database: the extent
+  tables, per-view lattice snapshots (rows as DeweyID tuples, resolved
+  against the live document on reopen), the batch version in ``meta``
+  and the batch WAL next to the database file.
+
+Commit protocol, per batch (driven by the maintenance engine)::
+
+    WAL DATA record  ->  in-memory apply (ops buffered)  ->
+    WAL COMMIT marker  ->  one sqlite txn: ops + lattices + version
+
+so after a crash the database version ``V`` and the WAL's last
+committed batch ``C`` satisfy ``V in {C-1, C}``, and recovery replays
+at most one batch beyond adopting the tables verbatim.
+
+Fork safety: connections, WAL handles and buffered ops are pid-guarded.
+A forked replica (ShardSession worker) inherits the store objects by
+COW and keeps using them as plain in-memory mirrors -- its writes are
+never journaled, its inherited handles never touched.  Pickling either
+class is refused outright.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sqlite3
+from collections import Counter
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+import operator
+
+from repro.algebra.relation import Relation
+from repro.obs import NULL_OBS
+from repro.storage.crashpoints import crash_point
+from repro.storage.keyenc import encode_key
+from repro.storage.wal import BatchWal
+from repro.views.store import DELETED, OrderedTupleStore
+
+_FORMAT = 2
+
+#: rewrite a lattice's chunk sequence from scratch once it grows this
+#: long (bounds reopen cost and file growth under long-lived engines).
+_LATTICE_COMPACT_SEQS = 64
+
+
+def _pickle(value: Any) -> bytes:
+    return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def wal_path(db_path: str) -> str:
+    """The batch WAL lives next to the database file."""
+    return db_path + ".batchlog"
+
+
+class SqliteTupleStore(OrderedTupleStore):
+    """Write-through extent store: in-memory mirror + journaled table.
+
+    Honors the whole ``OrderedTupleStore`` contract (``bulk_apply``
+    one-pass merges, ``order_key`` bisects, ``load_sorted``, lazy
+    ``items()`` / materialized ``snapshot()``).  The mirror orders by
+    the caller's ``order_key`` exactly like the in-memory store, so the
+    hot path pays nothing extra; keys are only rendered to
+    :func:`~repro.storage.keyenc.encode_key` blobs at flush time, where
+    they serve as the table's primary key.  ``encode_key`` induces the
+    same total order as ``row_sort_key`` (property-tested), so ``ORDER
+    BY k`` output is adoption-ready.
+    """
+
+    def __init__(self, backend: "SqliteExtentBackend", table: str,
+                 order_key: Optional[Callable[[Any], Any]] = None):
+        super().__init__(order_key=order_key)
+        self._backend = backend
+        self._table = table
+        #: pending (key, value) row ops since the last durable flush;
+        #: value ``DELETED`` drops the key, ``_reload`` voids them all.
+        self._ops: List[Tuple[Any, Any]] = []
+        self._reload = False
+
+    def __getstate__(self):
+        raise TypeError(
+            "SqliteTupleStore is bound to a sqlite connection and must "
+            "not cross the fork/pickle boundary; ship row pairs instead"
+        )
+
+    def _journaling(self) -> bool:
+        return self._backend.writable
+
+    # -- journaled writes --------------------------------------------------
+
+    def put(self, key: Any, value: Any) -> None:
+        super().put(key, value)
+        if self._journaling():
+            self._ops.append((key, value))
+
+    def delete(self, key: Any) -> bool:
+        found = super().delete(key)
+        if found and self._journaling():
+            self._ops.append((key, DELETED))
+        return found
+
+    def clear(self) -> None:
+        super().clear()
+        if self._journaling():
+            self._ops.clear()
+            self._reload = True
+
+    def bulk_apply(self, changes: Iterable[Tuple[Any, Any]]) -> None:
+        if not self._journaling():
+            super().bulk_apply(changes)
+            return
+        taken = list(changes)
+        super().bulk_apply(taken)
+        # Only journal once the merge validated the whole change list
+        # (a non-monotone iterable raises mid-way and changes nothing
+        # durable, matching the in-memory store's all-or-error shape
+        # closely enough for the poison paths that recompute anyway).
+        self._ops.extend(taken)
+        crash_point("mid_bulk_apply")
+
+    def load_sorted(self, items: Iterable[Tuple[Any, Any]]) -> None:
+        super().load_sorted(items)
+        if self._journaling():
+            self._ops.clear()
+            self._reload = True
+
+    def adopt(self, items: Iterable[Tuple[Any, Any]]) -> None:
+        """Install rows already durable in this store's table (recovery):
+        loads the mirror without journaling a rewrite."""
+        super().load_sorted(items)
+        self._ops.clear()
+        self._reload = False
+
+    def adopt_encoded(self, rows: Iterable[Tuple[bytes, Any, Any]]) -> None:
+        """Adopt ``(blob, key, value)`` triples straight from the table.
+
+        ``ORDER BY k`` output is already in mirror order (the blob
+        primary key induces the same total order as ``order_key``), so
+        adoption skips :meth:`load_sorted`'s monotonicity re-check.
+        """
+        super().clear()
+        separate_order = self._order_key is not None
+        for _blob, key, value in rows:
+            self._keys.append(key)
+            self._values.append(value)
+            if separate_order:
+                self._order.append(self._order_key(key))
+        self._ops.clear()
+        self._reload = False
+
+    # -- durable flush (called by the backend, inside its txn) -------------
+
+    def _flush_into(self, cursor) -> None:
+        if self._reload:
+            cursor.execute('DELETE FROM "%s"' % self._table)
+            cursor.executemany(
+                'INSERT INTO "%s"(k, row, val) VALUES(?, ?, ?)' % self._table,
+                (
+                    (encode_key(key), _pickle(key), _pickle(value))
+                    for key, value in self.items()
+                ),
+            )
+        elif self._ops:
+            # Ops are absolute (put stores a value, delete drops the
+            # key), so per key only the last one matters: coalesce,
+            # then encode/pickle each surviving key exactly once.
+            final: Dict[Any, Any] = {}
+            for key, value in self._ops:
+                final[key] = value
+            deletes = []
+            puts = []
+            for key, value in final.items():
+                if value is DELETED:
+                    deletes.append((encode_key(key),))
+                else:
+                    puts.append((encode_key(key), _pickle(key), _pickle(value)))
+            if deletes:
+                cursor.executemany(
+                    'DELETE FROM "%s" WHERE k = ?' % self._table, deletes
+                )
+            if puts:
+                cursor.executemany(
+                    'INSERT OR REPLACE INTO "%s"(k, row, val) VALUES(?, ?, ?)'
+                    % self._table,
+                    puts,
+                )
+        self._ops.clear()
+        self._reload = False
+
+    @property
+    def pending_ops(self) -> int:
+        return len(self._ops)
+
+
+class SqliteExtentBackend:
+    """One engine's durable state: extent tables + lattices + WAL."""
+
+    def __init__(self, path: str, obs=None):
+        self.path = path
+        self._pid = os.getpid()
+        # The queue applies batches on its worker thread while the
+        # engine is built on the caller's; access is already serialized
+        # batch-at-a-time, so cross-thread use is safe.
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        # Crash model is process death, not power loss: the page cache
+        # survives SIGKILL, so fsync buys nothing on the hot path.
+        self._conn.execute("PRAGMA synchronous=OFF")
+        self._init_schema()
+        self._stores: Dict[str, SqliteTupleStore] = {}
+        #: ``(rows, next_seq)`` per (view, subset) at last persist: the
+        #: rows-list identity marks a relation clean while unchanged,
+        #: and ``next_seq`` is the chunk number a delta would get.
+        self._lattice_refs: Dict[Tuple[str, str], Any] = {}
+        #: batches with IDs <= this replay without re-appending to the
+        #: WAL (their records are already durable).
+        self._replay_until = 0
+        self.obs = obs if obs is not None else NULL_OBS
+        self._records_counter = self.obs.metrics.counter(
+            "repro_wal_records_total", "WAL records appended", ("kind",)
+        )
+        self.wal = BatchWal(wal_path(path), records_counter=self._records_counter)
+
+    def bind_obs(self, obs) -> None:
+        """Adopt the engine's telemetry facade (when the backend was
+        built without one of its own)."""
+        if obs is None or obs is self.obs or self.obs is not NULL_OBS:
+            return
+        self.obs = obs
+        self._records_counter = obs.metrics.counter(
+            "repro_wal_records_total", "WAL records appended", ("kind",)
+        )
+        self.wal._records_counter = self._records_counter
+
+    def __getstate__(self):
+        raise TypeError(
+            "SqliteExtentBackend holds a sqlite connection and a WAL "
+            "handle and must not cross the fork/pickle boundary; "
+            "recovery reopens by path"
+        )
+
+    @property
+    def writable(self) -> bool:
+        """False in forked children (pid guard): replicas run on their
+        COW in-memory mirrors and never touch inherited handles."""
+        return self._pid == os.getpid()
+
+    def _init_schema(self) -> None:
+        cursor = self._conn.cursor()
+        cursor.execute(
+            "CREATE TABLE IF NOT EXISTS meta(key TEXT PRIMARY KEY, value INTEGER)"
+        )
+        cursor.execute(
+            "CREATE TABLE IF NOT EXISTS extents(view TEXT PRIMARY KEY, tbl TEXT NOT NULL)"
+        )
+        cursor.execute(
+            "CREATE TABLE IF NOT EXISTS lattices("
+            "view TEXT, subset TEXT, seq INTEGER, payload BLOB, "
+            "PRIMARY KEY(view, subset, seq))"
+        )
+        cursor.execute(
+            "INSERT OR IGNORE INTO meta(key, value) VALUES('format', ?)", (_FORMAT,)
+        )
+        cursor.execute("INSERT OR IGNORE INTO meta(key, value) VALUES('version', 0)")
+        cursor.execute(
+            "INSERT OR IGNORE INTO meta(key, value) VALUES('lattice_version', 0)"
+        )
+        self._conn.commit()
+
+    def _meta(self, key: str) -> int:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return 0 if row is None else int(row[0])
+
+    @property
+    def version(self) -> int:
+        """The last batch whose effects are durable in the tables."""
+        return self._meta("version")
+
+    @property
+    def lattice_version(self) -> int:
+        """The batch the persisted lattice snapshots correspond to.
+        Falls behind ``version`` while a ShardSession owns the lattices
+        (they are stale on the owner by design); recovery then
+        rematerializes lattices instead of adopting them."""
+        return self._meta("lattice_version")
+
+    @property
+    def next_batch_id(self) -> int:
+        return self.version + 1
+
+    # -- store registry ----------------------------------------------------
+
+    def store_factory(self, view_name: str):
+        """A ``MaterializedView`` store factory bound to this backend."""
+
+        def factory(order_key=None) -> SqliteTupleStore:
+            return self.store_for(view_name, order_key=order_key)
+
+        return factory
+
+    def store_for(self, view_name: str, order_key=None) -> SqliteTupleStore:
+        existing = self._stores.get(view_name)
+        if existing is not None:
+            return existing
+        row = self._conn.execute(
+            "SELECT tbl FROM extents WHERE view = ?", (view_name,)
+        ).fetchone()
+        if row is not None:
+            table = row[0]
+        else:
+            table = "extent_%d" % (
+                self._conn.execute("SELECT COUNT(*) FROM extents").fetchone()[0] + 1
+            )
+            self._conn.execute(
+                "INSERT INTO extents(view, tbl) VALUES(?, ?)", (view_name, table)
+            )
+            self._conn.execute(
+                'CREATE TABLE IF NOT EXISTS "%s"(k BLOB PRIMARY KEY, row BLOB, val BLOB)'
+                % table
+            )
+            self._conn.commit()
+        store = SqliteTupleStore(self, table, order_key=order_key)
+        self._stores[view_name] = store
+        return store
+
+    def drop_view(self, view_name: str) -> None:
+        store = self._stores.pop(view_name, None)
+        if store is not None and self.writable:
+            self._conn.execute('DELETE FROM "%s"' % store._table)
+            self._conn.execute("DELETE FROM extents WHERE view = ?", (view_name,))
+            self._conn.execute("DELETE FROM lattices WHERE view = ?", (view_name,))
+            self._conn.commit()
+        self._lattice_refs = {
+            key: ref for key, ref in self._lattice_refs.items() if key[0] != view_name
+        }
+
+    def stored_extent(self, view_name: str) -> List[Tuple[Any, Any]]:
+        """The durable rows of one extent, in key order (for adoption)."""
+        return [(key, value) for _, key, value in self.stored_extent_rows(view_name)]
+
+    def stored_extent_rows(self, view_name: str) -> List[Tuple[bytes, Any, Any]]:
+        """``(blob, key, value)`` triples in key order, blobs included
+        so adoption can reuse them as ready-made order keys."""
+        row = self._conn.execute(
+            "SELECT tbl FROM extents WHERE view = ?", (view_name,)
+        ).fetchone()
+        if row is None:
+            raise KeyError("no durable extent for view %r" % view_name)
+        return [
+            (bytes(blob), pickle.loads(key), pickle.loads(value))
+            for blob, key, value in self._conn.execute(
+                'SELECT k, row, val FROM "%s" ORDER BY k' % row[0]
+            )
+        ]
+
+    # -- batch commit protocol --------------------------------------------
+
+    def begin_batch(self, statements) -> int:
+        """Log the batch ahead of any application; returns its ID."""
+        batch_id = self.next_batch_id
+        if batch_id > self._replay_until:
+            self.wal.append_batch(batch_id, statements)
+        return batch_id
+
+    def commit_batch(self, batch_id: int, views, include_lattices: bool = True) -> None:
+        """Seal the batch: WAL commit marker, then one sqlite txn."""
+        if batch_id > self._replay_until:
+            self.wal.append_commit(batch_id)
+        cursor = self._conn.cursor()
+        cursor.execute("BEGIN")
+        for store in self._stores.values():
+            store._flush_into(cursor)
+        cursor.execute(
+            "UPDATE meta SET value = ? WHERE key = 'version'", (batch_id,)
+        )
+        if include_lattices:
+            self._persist_lattices(cursor, views)
+            cursor.execute(
+                "UPDATE meta SET value = ? WHERE key = 'lattice_version'", (batch_id,)
+            )
+        self._conn.commit()
+
+    def sync(self, views, include_lattices: bool = True) -> None:
+        """Checkpoint outside the batch protocol (registration, session
+        close, queue close): flush pending ops and lattices at the
+        current version without consuming a batch ID."""
+        if not self.writable:
+            return
+        cursor = self._conn.cursor()
+        cursor.execute("BEGIN")
+        for store in self._stores.values():
+            store._flush_into(cursor)
+        if include_lattices:
+            self._persist_lattices(cursor, views)
+            cursor.execute(
+                "UPDATE meta SET value = ? WHERE key = 'lattice_version'",
+                (self._meta("version"),),
+            )
+        self._conn.commit()
+
+    def begin_replay(self, last_committed: int) -> None:
+        self._replay_until = last_committed
+
+    # -- lattice snapshots -------------------------------------------------
+
+    @staticmethod
+    def _subset_key(subset) -> str:
+        return ",".join(sorted(subset))
+
+    @staticmethod
+    def _id_rows(rows) -> List[Tuple[Any, ...]]:
+        return [tuple(cell.id for cell in row) for row in rows]
+
+    @staticmethod
+    def _rows_delta(previous, rows):
+        """``(added, dropped)`` such that previous - dropped + added ==
+        rows, by object identity.
+
+        One two-pointer pass over the longest common identity
+        subsequence: sound for *any* pair of lists (whatever fails to
+        match is dropped/added wholesale), and minimal for the shape
+        the lattice upkeep actually produces -- surviving rows keep
+        their relative order and fresh derivations are appended.
+        """
+        i, n = 0, len(previous)
+        k, m = 0, len(rows)
+        dropped = []
+        while i < n and k < m:
+            if previous[i] is rows[k]:
+                i += 1
+                k += 1
+            else:
+                dropped.append(previous[i])
+                i += 1
+        dropped.extend(previous[i:])
+        return rows[k:], dropped
+
+    def _persist_lattices(self, cursor, views) -> None:
+        """Write changed snowcap relations as chunked DeweyID deltas.
+
+        Relations are dirty-tracked by rows-list identity: the lattice
+        upkeep paths install a fresh list on every real change and
+        leave untouched relations aliased, so an unchanged relation
+        costs one ``is`` check here.  A changed relation appends one
+        ``(schema, added_id_rows, dropped_id_rows)`` chunk covering
+        just the delta (:meth:`_rows_delta`), so both insert- and
+        delete-heavy batches pickle O(changed rows), not the whole
+        relation.  The chunk sequence is compacted back to a single
+        snapshot once it exceeds ``_LATTICE_COMPACT_SEQS``.
+        """
+        for name, registered in views.items():
+            lattice = registered.lattice
+            for subset in lattice.materialized_sets():
+                relation = lattice.relation_for(subset)
+                key = (name, self._subset_key(subset))
+                state = self._lattice_refs.get(key)
+                rows = relation.rows
+                if state is not None and state[0] is rows:
+                    continue
+                if state is None:
+                    previous, seq = None, 0
+                else:
+                    previous, seq = state
+                    if len(previous) <= len(rows) and all(
+                        map(operator.is_, previous, rows)
+                    ):
+                        added, dropped = rows[len(previous):], []
+                    else:
+                        added, dropped = self._rows_delta(previous, rows)
+                    if not added and not dropped:  # fresh list, same rows
+                        self._lattice_refs[key] = (rows, seq)
+                        continue
+                if previous is None or seq >= _LATTICE_COMPACT_SEQS:
+                    cursor.execute(
+                        "DELETE FROM lattices WHERE view = ? AND subset = ?",
+                        (name, key[1]),
+                    )
+                    seq, added, dropped = 0, rows, []
+                payload = _pickle(
+                    (
+                        list(relation.schema),
+                        self._id_rows(added),
+                        self._id_rows(dropped),
+                    )
+                )
+                cursor.execute(
+                    "INSERT INTO lattices(view, subset, seq, payload) "
+                    "VALUES(?, ?, ?, ?)",
+                    (name, key[1], seq, payload),
+                )
+                self._lattice_refs[key] = (rows, seq + 1)
+
+    def _collapsed_chunks(self, view_name: str, subset_key: str):
+        """``(schema, id_rows, chunk_count)`` after replaying the chunk
+        sequence of one relation; ``chunk_count`` 0 when no snapshot."""
+        chunks = self._conn.execute(
+            "SELECT payload FROM lattices WHERE view = ? AND subset = ? "
+            "ORDER BY seq",
+            (view_name, subset_key),
+        ).fetchall()
+        schema: Any = None
+        id_rows: List[Any] = []
+        for (payload,) in chunks:
+            chunk_schema, added, dropped = pickle.loads(payload)
+            if schema is None:
+                schema = chunk_schema
+            if dropped:
+                pending = Counter(dropped)
+                kept = []
+                for id_row in id_rows:
+                    if pending.get(id_row, 0):
+                        pending[id_row] -= 1
+                    else:
+                        kept.append(id_row)
+                id_rows = kept
+            id_rows.extend(added)
+        return schema, id_rows, len(chunks)
+
+    def compact_lattices(self) -> None:
+        """Collapse every chunk sequence to one snapshot (clean
+        shutdown): reopen then loads each relation from a single chunk
+        instead of replaying the batch-by-batch delta history."""
+        if not self.writable:
+            return
+        targets = self._conn.execute(
+            "SELECT view, subset FROM lattices GROUP BY view, subset "
+            "HAVING MAX(seq) > 0"
+        ).fetchall()
+        if not targets:
+            return
+        cursor = self._conn.cursor()
+        cursor.execute("BEGIN")
+        for view_name, subset_key in targets:
+            schema, id_rows, _ = self._collapsed_chunks(view_name, subset_key)
+            cursor.execute(
+                "DELETE FROM lattices WHERE view = ? AND subset = ?",
+                (view_name, subset_key),
+            )
+            cursor.execute(
+                "INSERT INTO lattices(view, subset, seq, payload) "
+                "VALUES(?, ?, 0, ?)",
+                (view_name, subset_key, _pickle((schema, id_rows, []))),
+            )
+            state = self._lattice_refs.get((view_name, subset_key))
+            if state is not None:
+                self._lattice_refs[(view_name, subset_key)] = (state[0], 1)
+        self._conn.commit()
+
+    def load_lattice(self, view_name: str, selected, document) -> Dict[Any, Relation]:
+        """Resolve the persisted snowcap relations against a document.
+
+        Raises :class:`KeyError` when a selected subset has no snapshot
+        and :class:`ValueError` when a row references a node absent from
+        the document -- both make the caller fall back to
+        materialization.
+        """
+        relations: Dict[Any, Relation] = {}
+        for subset in selected:
+            schema, id_rows, chunk_count = self._collapsed_chunks(
+                view_name, self._subset_key(subset)
+            )
+            if not chunk_count:
+                raise KeyError(
+                    "no lattice snapshot for %s/%s" % (view_name, sorted(subset))
+                )
+            rows = []
+            for id_row in id_rows:
+                cells = tuple(document.node_by_id(dewey) for dewey in id_row)
+                if any(cell is None for cell in cells):
+                    raise ValueError(
+                        "lattice snapshot row of %s references a node "
+                        "absent from the document" % view_name
+                    )
+                rows.append(cells)
+            relations[subset] = Relation(schema, rows)
+        return relations
+
+    def mark_lattice_adopted(self, view_name: str, lattice) -> None:
+        """Record the adopted relations as clean for dirty tracking."""
+        for subset in lattice.materialized_sets():
+            relation = lattice.relation_for(subset)
+            subset_key = self._subset_key(subset)
+            next_seq = (
+                self._conn.execute(
+                    "SELECT COALESCE(MAX(seq), -1) FROM lattices "
+                    "WHERE view = ? AND subset = ?",
+                    (view_name, subset_key),
+                ).fetchone()[0]
+                + 1
+            )
+            self._lattice_refs[(view_name, subset_key)] = (relation.rows, next_seq)
+
+    def close(self) -> None:
+        if self.writable:
+            self.compact_lattices()
+            self._conn.close()
+            self.wal.close()
+
+    def __repr__(self) -> str:
+        return "SqliteExtentBackend(%r, version=%d)" % (self.path, self.version)

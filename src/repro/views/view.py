@@ -31,21 +31,32 @@ def row_sort_key(row: ViewTuple) -> tuple:
 class MaterializedView:
     """The stored extent of a tree-pattern view."""
 
-    def __init__(self, pattern: Pattern, name: str = "view"):
+    def __init__(self, pattern: Pattern, name: str = "view", store_factory=None):
         pattern.validate_for_maintenance()
         self.pattern = pattern
         self.name = name
         self.columns: List[str] = view_columns(pattern)
         # C-comparable ordering keys keep the hot store bisects off
-        # DeweyID's Python-level rich comparisons.
-        self._store = OrderedTupleStore(order_key=row_sort_key)
+        # DeweyID's Python-level rich comparisons.  ``store_factory``
+        # swaps in another implementation of the same contract (the
+        # durable sqlite-backed store orders by key blobs instead).
+        if store_factory is None:
+            self._store = OrderedTupleStore(order_key=row_sort_key)
+        else:
+            self._store = store_factory(order_key=row_sort_key)
 
     # -- construction ------------------------------------------------------
 
     @classmethod
-    def materialize(cls, pattern: Pattern, document: Document, name: str = "view") -> "MaterializedView":
+    def materialize(
+        cls,
+        pattern: Pattern,
+        document: Document,
+        name: str = "view",
+        store_factory=None,
+    ) -> "MaterializedView":
         """Evaluate the pattern on the document and store the result."""
-        view = cls(pattern, name=name)
+        view = cls(pattern, name=name, store_factory=store_factory)
         content = evaluate_view(pattern, document)
         # Distinct rows sorted by key: bulk-load in one pass instead of
         # O(n²) per-row sorted inserts.
@@ -60,15 +71,25 @@ class MaterializedView:
         pattern: Pattern,
         pairs: Iterable[Tuple[ViewTuple, int]],
         name: str = "view",
+        store_factory=None,
     ) -> "MaterializedView":
         """Load an extent from precomputed ``(row, count)`` pairs.
 
         The sharded-recompute path evaluates the view inside a worker
         and ships the pairs back as a fragment; this rebuilds the owner
         extent without re-evaluating the pattern."""
-        view = cls(pattern, name=name)
+        view = cls(pattern, name=name, store_factory=store_factory)
         view._store.load_sorted(sorted(pairs, key=lambda item: row_sort_key(item[0])))
         return view
+
+    def reload_content(self, pairs: Iterable[Tuple[ViewTuple, int]]) -> None:
+        """Replace the whole extent content *in the existing store*.
+
+        Recompute fallbacks and shard resyncs historically swapped the
+        ``_store`` object wholesale; a content-level reload keeps the
+        store's identity (and, for durable stores, its binding to the
+        backing table) intact."""
+        self._store.load_sorted(sorted(pairs, key=lambda item: row_sort_key(item[0])))
 
     # -- reads ----------------------------------------------------------------
 

@@ -1,0 +1,15 @@
+"""Fixture: durable resources captured silently (fork-unsafe-capture).
+
+Two findings: the sqlite connection and the WAL file handle.  The class
+defines no ``__getstate__``/``__reduce__``, so nothing stops either
+resource from crossing the fork/pickle boundary silently.
+"""
+
+import sqlite3
+
+
+class LeakyBackend:
+    def __init__(self, path):
+        self._conn = sqlite3.connect(path)  # finding: sqlite connection
+        self._wal = open(path + ".batchlog", "ab")  # finding: shared fd
+        self._path = path  # fine: plain data

@@ -1,0 +1,19 @@
+"""Fixture: durable resources with an explicit pickling boundary.
+
+Zero findings: the class holds the same sqlite connection and WAL
+handle as the bad fixture, but declares its boundary behaviour with a
+``__getstate__`` that refuses to pickle -- the resource can never cross
+the fork/pickle boundary silently, which is all the rule polices.
+"""
+
+import sqlite3
+
+
+class GuardedBackend:
+    def __init__(self, path):
+        self._conn = sqlite3.connect(path)  # fine: boundary declared
+        self._wal = open(path + ".batchlog", "ab")  # fine: boundary declared
+        self._path = path
+
+    def __getstate__(self):
+        raise TypeError("GuardedBackend must not cross the fork/pickle boundary")

@@ -1,0 +1,9 @@
+"""Crash-injection test harness for the durable engine.
+
+``crashkit`` drives a deterministic workload against a durable
+(sqlite + WAL) engine in a child process with a named crash point
+armed (``REPRO_CRASH_POINT``), lets the child SIGKILL itself mid-
+protocol, then recovers the database in the test process and proves
+the recovered state byte-identical to an uninterrupted run.
+``crash_child.py`` is the subprocess entry point.
+"""

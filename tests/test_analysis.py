@@ -99,6 +99,21 @@ def test_fork_capture_fixture_fires():
     ]
 
 
+def test_fork_capture_durable_fixture_fires():
+    # storage/ is in the rule's scope: sqlite connections and WAL file
+    # handles are fork-hostile exactly like locks and generators.
+    findings = findings_for(fixture("storage", "durable_bad.py"))
+    assert [f.rule for f in findings] == ["fork-unsafe-capture"] * 2
+    assert [f.line for f in findings] == [13, 14]
+    assert "sqlite connection" in findings[0].message
+
+
+def test_fork_capture_boundary_dunder_exempts():
+    # A class that declares its boundary (__getstate__ raising) holds
+    # the same resources without findings: nothing crosses silently.
+    assert findings_for(fixture("storage", "durable_clean.py")) == []
+
+
 def test_unit_purity_fixture_fires():
     findings = findings_for(fixture("sharding", "unit_impure_bad.py"))
     assert [f.rule for f in findings] == ["unit-impure-write"] * 3

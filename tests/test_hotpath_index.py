@@ -279,7 +279,9 @@ class TestStoreScans:
         frozen = store.snapshot()
         store.put(0, "z")
         store.delete(1)
-        assert frozen == [(1, "a")]
+        # The documented contract is a snapshot *sequence*; asserting
+        # list identity would over-constrain alternate store backends.
+        assert list(frozen) == [(1, "a")]
         assert list(store.items()) == [(0, "z")]
 
     def test_load_sorted_rejects_unsorted(self):

@@ -8,9 +8,32 @@ from repro.views.view import MaterializedView
 from tests.conftest import chain_pattern
 
 
+@pytest.fixture(params=["memory", "sqlite"])
+def make_store(request, tmp_path):
+    """A fresh store per call, one per ``OrderedTupleStore`` backend.
+
+    Both implementations must satisfy the same contract; every test in
+    :class:`TestOrderedTupleStore` runs against each.
+    """
+    if request.param == "memory":
+        yield OrderedTupleStore
+        return
+    from repro.storage.sqlite import SqliteExtentBackend
+
+    backend = SqliteExtentBackend(str(tmp_path / "conformance.db"))
+    made = []
+
+    def factory():
+        made.append(len(made))
+        return backend.store_for("table_%d" % made[-1])
+
+    yield factory
+    backend.close()
+
+
 class TestOrderedTupleStore:
-    def test_put_get_delete(self):
-        store = OrderedTupleStore()
+    def test_put_get_delete(self, make_store):
+        store = make_store()
         store.put(("b",), 1)
         store.put(("a",), 2)
         assert store.get(("a",)) == 2
@@ -19,30 +42,47 @@ class TestOrderedTupleStore:
         assert not store.delete(("b",))
         assert store.get(("b",), "missing") == "missing"
 
-    def test_keys_sorted(self):
-        store = OrderedTupleStore()
+    def test_keys_sorted(self, make_store):
+        store = make_store()
         for key in [("c",), ("a",), ("b",)]:
             store.put(key, 0)
         assert store.keys() == [("a",), ("b",), ("c",)]
 
-    def test_put_overwrites(self):
-        store = OrderedTupleStore()
+    def test_put_overwrites(self, make_store):
+        store = make_store()
         store.put(("a",), 1)
         store.put(("a",), 9)
         assert store.get(("a",)) == 9
         assert len(store) == 1
 
-    def test_range_scan(self):
-        store = OrderedTupleStore()
+    def test_range_scan(self, make_store):
+        store = make_store()
         for index in range(5):
             store.put((index,), index)
         assert [k for k, _ in store.range((1,), (4,))] == [(1,), (2,), (3,)]
         assert len(list(store.range())) == 5
 
-    def test_load_sorted_rejects_unsorted(self):
-        store = OrderedTupleStore()
+    def test_load_sorted_rejects_unsorted(self, make_store):
+        store = make_store()
         with pytest.raises(ValueError):
             store.load_sorted([(("b",), 1), (("a",), 1)])
+
+    def test_snapshot_is_an_immutable_sequence(self, make_store):
+        # The documented contract: a sequence decoupled from later
+        # updates (not necessarily a list).
+        store = make_store()
+        store.put((1,), "a")
+        frozen = store.snapshot()
+        store.put((0,), "z")
+        store.delete((1,))
+        assert list(frozen) == [((1,), "a")]
+        assert list(store.items()) == [((0,), "z")]
+
+    def test_bulk_apply_merges(self, make_store):
+        store = make_store()
+        store.load_sorted([((0,), 1), ((2,), 1)])
+        store.bulk_apply([((1,), 5), ((2,), 7)])
+        assert list(store.items()) == [((0,), 1), ((1,), 5), ((2,), 7)]
 
     def test_persistence_roundtrip(self, tmp_path):
         store = OrderedTupleStore()
